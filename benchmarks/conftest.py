@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(Chapter 8); the per-experiment index lives in DESIGN.md and the recorded
+outcomes in EXPERIMENTS.md.  The pytest-benchmark timings measure the cost
+of running the simulation itself; the reproduced results are the
+``ExperimentTable`` rows each benchmark prints and saves under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "results")
+
+
+@pytest.fixture
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable without installation, so
+``pytest tests/`` works in a fresh checkout (and in environments where an
+editable install cannot build a wheel).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""BFT vs BFT-PK vs unreplicated: latency and throughput side by side.
+
+Reproduces, at small scale, the headline comparison of the paper: replacing
+signatures with MAC authenticators turns an impractically slow protocol
+into one that is competitive with an unreplicated server, and the analytic
+model of Chapter 7 predicts both.
+"""
+
+from repro.baselines.unreplicated import UnreplicatedCluster
+from repro.bench import measure_latency, measure_throughput, micro_operation
+from repro.core.config import ProtocolOptions
+from repro.library import BFTCluster
+from repro.perfmodel import LatencyModel, ThroughputModel
+from repro.services import NullService
+
+
+def main() -> None:
+    op = micro_operation(0, 0)
+
+    print("latency of the 0/0 operation (simulated microseconds)")
+    print(f"{'system':<16}{'measured':>12}{'model':>12}")
+    for label, options in (("BFT", ProtocolOptions()),
+                           ("BFT-PK", ProtocolOptions().as_bft_pk())):
+        cluster = BFTCluster.create(f=1, service_factory=NullService,
+                                    options=options, checkpoint_interval=256)
+        measured = measure_latency(cluster, op, samples=8).mean
+        model = LatencyModel(n=4, auth_mode=options.auth_mode).read_write_latency(0, 0)
+        print(f"{label:<16}{measured:>12.1f}{model:>12.1f}")
+    baseline = UnreplicatedCluster(service_factory=NullService)
+    measured = measure_latency(baseline, op, samples=8).mean
+    model = LatencyModel(n=4).unreplicated_latency(0, 0)
+    print(f"{'unreplicated':<16}{measured:>12.1f}{model:>12.1f}")
+
+    print("\nthroughput of the 0/0 operation with 16 clients (ops/second)")
+    print(f"{'system':<16}{'measured':>12}{'model':>12}")
+    for label, options in (("BFT", ProtocolOptions()),
+                           ("BFT-PK", ProtocolOptions().as_bft_pk())):
+        cluster = BFTCluster.create(f=1, service_factory=NullService,
+                                    options=options, checkpoint_interval=512)
+        measured = measure_throughput(cluster, 16, 10, op).ops_per_second
+        model = ThroughputModel(n=4, auth_mode=options.auth_mode).read_write_throughput()
+        print(f"{label:<16}{measured:>12.1f}{model:>12.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a reproduction of Practical Byzantine Fault Tolerance (Castro & Liskov).
+
+The package implements the BFT state-machine replication algorithm family
+(BFT-PK, BFT, BFT-PR), the supporting substrates (deterministic discrete-event
+simulation, unreliable network, cryptography, hierarchical checkpointing and
+state transfer), the generic replication library API, the BFS file service,
+the analytic performance model from Chapter 7 of the thesis, and the benchmark
+harness that regenerates the evaluation tables and figures.
+
+Quickstart::
+
+    from repro.library import BFTCluster
+
+    cluster = BFTCluster.create(f=1)
+    client = cluster.new_client()
+    result = client.invoke(b"SET k v")
+
+See ``examples/`` and ``DESIGN.md`` for more.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,295 @@
+"""The unreplicated client/server baseline.
+
+One server executes operations directly and replies; clients wait for the
+single reply.  Messages carry a MAC each way, and the same CPU and network
+cost model applies, so comparisons against BFT isolate the cost of the
+replication protocol itself (the paper's NFS-std and NO-REP baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.auth import Authentication, build_session_keys
+from repro.core.client import CompletedRequest
+from repro.core.config import AuthMode
+from repro.core.env import Env
+from repro.core.messages import Message, Reply, Request
+from repro.crypto.digests import digest
+from repro.crypto.signatures import SignatureRegistry
+from repro.library.cluster import ProtocolNode, SimEnv
+from repro.net.conditions import NetworkConditions
+from repro.net.network import Network
+from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
+from repro.services.interface import Service
+from repro.services.null_service import NullService
+from repro.sim.faults import FaultInjector
+from repro.sim.rng import SimRandom
+from repro.sim.scheduler import Scheduler
+
+SERVER_NAME = "server"
+RETRANSMIT_TIMER = "retransmit"
+
+
+class UnreplicatedServer:
+    """A single server executing operations as they arrive."""
+
+    def __init__(
+        self, service: Service, env: Env, auth: Authentication, params: ModelParameters
+    ) -> None:
+        self.service = service
+        self.env = env
+        self.auth = auth
+        self.auth.bind_env(env)
+        self.params = params
+        self.last_reply: Dict[str, Reply] = {}
+        self.last_timestamp: Dict[str, int] = {}
+        self.requests_executed = 0
+
+    def receive(self, message: Message) -> None:
+        if not isinstance(message, Request):
+            return
+        if not self.auth.verify(message):
+            return
+        client = message.client
+        last = self.last_timestamp.get(client, 0)
+        if message.timestamp < last:
+            return
+        if message.timestamp == last and client in self.last_reply:
+            self._send(self.last_reply[client])
+            return
+        outcome = self.service.execute(message.operation, client)
+        self.env.charge(
+            self.params.execution_cost(len(message.operation), len(outcome.result))
+        )
+        self.requests_executed += 1
+        reply = Reply(
+            view=0,
+            timestamp=message.timestamp,
+            client=client,
+            replica=SERVER_NAME,
+            result=outcome.result,
+            result_digest=digest(outcome.result),
+            tentative=False,
+            sender=SERVER_NAME,
+        )
+        self.last_timestamp[client] = message.timestamp
+        self.last_reply[client] = reply
+        self._send(reply)
+
+    def _send(self, reply: Reply) -> None:
+        self.auth.sign_point_to_point(reply, reply.client)
+        self.env.send(reply.client, reply)
+
+    def on_timer(self, label: str) -> None:  # pragma: no cover - no timers
+        pass
+
+
+class UnreplicatedClient:
+    """Client protocol: one outstanding request, one reply expected."""
+
+    def __init__(
+        self,
+        client_id: str,
+        env: Env,
+        auth: Authentication,
+        retransmission_timeout: float = 150_000.0,
+        on_complete: Optional[Callable[[CompletedRequest], None]] = None,
+    ) -> None:
+        self.id = client_id
+        self.env = env
+        self.auth = auth
+        self.auth.bind_env(env)
+        self.timeout = retransmission_timeout
+        self.on_complete = on_complete
+        self.last_timestamp = 0
+        self.pending: Optional[Request] = None
+        self.sent_at = 0.0
+        self.retransmissions = 0
+        self.completed: Dict[int, CompletedRequest] = {}
+
+    def invoke(self, operation: bytes, read_only: bool = False) -> int:
+        if self.pending is not None:
+            raise RuntimeError(f"client {self.id} already has an outstanding request")
+        self.last_timestamp += 1
+        request = Request(
+            operation=operation,
+            timestamp=self.last_timestamp,
+            client=self.id,
+            read_only=read_only,
+            sender=self.id,
+        )
+        self.pending = request
+        self.sent_at = self.env.now()
+        self.retransmissions = 0
+        self._transmit()
+        return request.timestamp
+
+    def _transmit(self) -> None:
+        assert self.pending is not None
+        self.auth.sign_point_to_point(self.pending, SERVER_NAME)
+        self.env.send(SERVER_NAME, self.pending)
+        self.env.set_timer(RETRANSMIT_TIMER, self.timeout)
+
+    def receive(self, message: Message) -> None:
+        if not isinstance(message, Reply) or self.pending is None:
+            return
+        if message.timestamp != self.pending.timestamp:
+            return
+        if not self.auth.verify(message):
+            return
+        now = self.env.now()
+        completed = CompletedRequest(
+            operation=self.pending.operation,
+            timestamp=self.pending.timestamp,
+            result=message.result or b"",
+            latency=now - self.sent_at,
+            sent_at=self.sent_at,
+            completed_at=now,
+            read_only=self.pending.read_only,
+            retransmissions=self.retransmissions,
+            view=0,
+        )
+        self.completed[self.pending.timestamp] = completed
+        self.pending = None
+        self.env.cancel_timer(RETRANSMIT_TIMER)
+        if self.on_complete is not None:
+            self.on_complete(completed)
+
+    def is_complete(self, timestamp: int) -> bool:
+        return timestamp in self.completed
+
+    def result_of(self, timestamp: int) -> Optional[CompletedRequest]:
+        return self.completed.get(timestamp)
+
+    def on_timer(self, label: str) -> None:
+        if label == RETRANSMIT_TIMER and self.pending is not None:
+            self.retransmissions += 1
+            self._transmit()
+
+
+class UnreplicatedSyncClient:
+    """Blocking wrapper matching :class:`repro.library.cluster.SyncClient`."""
+
+    def __init__(self, cluster: "UnreplicatedCluster", client: UnreplicatedClient,
+                 node: ProtocolNode) -> None:
+        self.cluster = cluster
+        self.protocol = client
+        self.node = node
+
+    @property
+    def id(self) -> str:
+        return self.protocol.id
+
+    def invoke(
+        self, operation: bytes, read_only: bool = False, timeout: float = 60_000_000.0
+    ) -> bytes:
+        timestamp = self.node.external_call(
+            lambda: self.protocol.invoke(operation, read_only=read_only)
+        )
+        deadline = self.cluster.scheduler.clock.now + timeout
+        self.cluster.scheduler.run(
+            until=deadline, stop_when=lambda: self.protocol.is_complete(timestamp)
+        )
+        completed = self.protocol.result_of(timestamp)
+        if completed is None:
+            raise TimeoutError("unreplicated request did not complete")
+        return completed.result
+
+    def invoke_async(self, operation: bytes, read_only: bool = False) -> int:
+        return self.node.external_call(
+            lambda: self.protocol.invoke(operation, read_only=read_only)
+        )
+
+    def last_completed(self) -> Optional[CompletedRequest]:
+        if not self.protocol.completed:
+            return None
+        return self.protocol.completed[max(self.protocol.completed)]
+
+
+class UnreplicatedCluster:
+    """A one-server deployment over the same simulated substrate."""
+
+    def __init__(
+        self,
+        service_factory: Callable[[], Service] = NullService,
+        params: ModelParameters = PAPER_PARAMETERS,
+        conditions: Optional[NetworkConditions] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params
+        self.rng = SimRandom(seed)
+        self.scheduler = Scheduler()
+        self.conditions = conditions or params.communication.network_conditions()
+        self.network = Network(self.scheduler, self.conditions, self.rng.fork("net"))
+        self.fault_injector = FaultInjector()
+        self.registry = SignatureRegistry()
+        self.completed: List[CompletedRequest] = []
+        self._client_counter = 0
+
+        node = ProtocolNode(
+            SERVER_NAME, self.scheduler, self.network, params, self.fault_injector,
+            self.rng.fork(SERVER_NAME),
+        )
+        self.network.register(SERVER_NAME)
+        env = SimEnv(node)
+        self.service = service_factory()
+        keys = build_session_keys(SERVER_NAME, ())
+        auth = Authentication(
+            owner=SERVER_NAME,
+            mode=AuthMode.MAC,
+            keys=keys,
+            registry=self.registry,
+            crypto_costs=params.crypto,
+            env=env,
+        )
+        self.server = UnreplicatedServer(self.service, env, auth, params)
+        node.protocol = self.server
+        self.server_node = node
+        self.clients: Dict[str, UnreplicatedSyncClient] = {}
+
+    def new_client(
+        self, name: Optional[str] = None,
+        on_complete: Optional[Callable[[CompletedRequest], None]] = None,
+    ) -> UnreplicatedSyncClient:
+        if name is None:
+            name = f"client{self._client_counter}"
+            self._client_counter += 1
+        node = ProtocolNode(
+            name, self.scheduler, self.network, self.params, self.fault_injector,
+            self.rng.fork(name),
+        )
+        self.network.register(name)
+        env = SimEnv(node)
+        keys = build_session_keys(name, (SERVER_NAME,))
+        auth = Authentication(
+            owner=name,
+            mode=AuthMode.MAC,
+            keys=keys,
+            registry=self.registry,
+            crypto_costs=self.params.crypto,
+            env=env,
+        )
+
+        def _on_complete(completed: CompletedRequest) -> None:
+            self.completed.append(completed)
+            if on_complete is not None:
+                on_complete(completed)
+
+        client = UnreplicatedClient(name, env, auth, on_complete=_on_complete)
+        node.protocol = client
+        self.server.auth.keys.install_pair(name)
+        sync = UnreplicatedSyncClient(self, client, node)
+        self.clients[name] = sync
+        return sync
+
+    def run(self, duration: Optional[float] = None, until: Optional[float] = None,
+            stop_when=None, max_events: Optional[int] = None) -> None:
+        if duration is not None:
+            until = self.scheduler.clock.now + duration
+        self.scheduler.run(until=until, max_events=max_events, stop_when=stop_when)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.clock.now

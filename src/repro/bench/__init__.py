@@ -1,0 +1,21 @@
+"""Benchmark harness and workload generators for the evaluation chapter."""
+
+from repro.bench.workloads import (
+    micro_operation,
+    measure_latency,
+    measure_throughput,
+    run_closed_loop,
+    LatencyResult,
+    ThroughputResult,
+)
+from repro.bench.harness import ExperimentTable
+
+__all__ = [
+    "micro_operation",
+    "measure_latency",
+    "measure_throughput",
+    "run_closed_loop",
+    "LatencyResult",
+    "ThroughputResult",
+    "ExperimentTable",
+]

@@ -1,0 +1,153 @@
+"""Workload generators and measurement helpers.
+
+The micro-benchmarks of Section 8.3 use the null service with operations
+``a/b`` whose argument is ``a`` KB and result ``b`` KB.  Latency is measured
+with a single client issuing operations back to back; throughput with a
+closed loop of many clients, each re-issuing an operation as soon as the
+previous one completes (the paper's client model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.client import CompletedRequest
+from repro.library.cluster import BFTCluster, SyncClient
+from repro.services.null_service import encode_null_op
+
+
+def micro_operation(arg_kb: float, result_kb: float, read_only: bool = False) -> bytes:
+    """The ``a/b`` null-service operation of the micro-benchmarks."""
+    return encode_null_op(
+        result_size=int(result_kb * 1024),
+        arg_size=int(arg_kb * 1024),
+        read_only=read_only,
+    )
+
+
+@dataclass
+class LatencyResult:
+    """Latency measurements from a single-client run."""
+
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput measurements from a multi-client closed-loop run."""
+
+    completed: int
+    elapsed: float
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed / (self.elapsed / 1_000_000.0)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+def measure_latency(
+    cluster,
+    operation: bytes,
+    samples: int = 20,
+    read_only: bool = False,
+    warmup: int = 3,
+    client: Optional[SyncClient] = None,
+) -> LatencyResult:
+    """Latency of an operation issued repeatedly by one client.
+
+    Works with both :class:`BFTCluster` and the unreplicated baseline
+    cluster (anything exposing ``new_client`` and a blocking ``invoke``).
+    """
+    sync = client or cluster.new_client()
+    result = LatencyResult()
+    for _ in range(warmup):
+        sync.invoke(operation, read_only=read_only)
+    for _ in range(samples):
+        sync.invoke(operation, read_only=read_only)
+        completed = sync.last_completed()
+        if completed is not None:
+            result.samples.append(completed.latency)
+    return result
+
+
+def run_closed_loop(
+    cluster,
+    num_clients: int,
+    operations_per_client: int,
+    operation_factory: Callable[[int, int], Tuple[bytes, bool]],
+) -> ThroughputResult:
+    """Closed-loop workload: each client re-issues as soon as it completes.
+
+    ``operation_factory(client_index, op_index)`` returns ``(operation,
+    read_only)`` for each issue.  Returns throughput over the span from the
+    first issue to the last completion.
+    """
+    progress = {"done": 0}
+    latencies: List[float] = []
+    total_expected = num_clients * operations_per_client
+    start = cluster.now
+
+    clients = []
+    for client_index in range(num_clients):
+        counters = {"issued": 0}
+
+        def make_callback(index: int, counters=counters):
+            def on_complete(completed: CompletedRequest) -> None:
+                progress["done"] += 1
+                latencies.append(completed.latency)
+                sync = clients[index]
+                if counters["issued"] < operations_per_client:
+                    operation, read_only = operation_factory(index, counters["issued"])
+                    counters["issued"] += 1
+                    # Invoked from within the client's handler: sends are
+                    # flushed when the handler finishes.
+                    sync.protocol.invoke(operation, read_only=read_only)
+            return on_complete
+
+        sync = cluster.new_client(on_complete=make_callback(client_index))
+        clients.append(sync)
+        operation, read_only = operation_factory(client_index, 0)
+        counters["issued"] = 1
+        sync.invoke_async(operation, read_only=read_only)
+
+    cluster.run(stop_when=lambda: progress["done"] >= total_expected,
+                duration=3_600_000_000.0)
+    elapsed = cluster.now - start
+    return ThroughputResult(
+        completed=progress["done"], elapsed=elapsed, latencies=latencies
+    )
+
+
+def measure_throughput(
+    cluster,
+    num_clients: int,
+    operations_per_client: int,
+    operation: bytes,
+    read_only: bool = False,
+) -> ThroughputResult:
+    """Throughput of a fixed operation under a closed-loop client population."""
+    return run_closed_loop(
+        cluster,
+        num_clients,
+        operations_per_client,
+        lambda _c, _i: (operation, read_only),
+    )

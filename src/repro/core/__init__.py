@@ -1,0 +1,30 @@
+"""The BFT replication protocol (the paper's primary contribution).
+
+Submodules:
+
+* :mod:`repro.core.config` — replica-set configuration and protocol options.
+* :mod:`repro.core.messages` — every protocol message type.
+* :mod:`repro.core.quorum` — quorum and weak-certificate arithmetic.
+* :mod:`repro.core.log` — the per-sequence-number message log and
+  certificates, with water marks.
+* :mod:`repro.core.auth` — message authentication (MACs, authenticators,
+  signatures) shared by replicas and clients.
+* :mod:`repro.core.replica` — the replica state machine: normal-case
+  three-phase protocol, checkpointing and garbage collection, and the
+  optimizations from Chapter 5.
+* :mod:`repro.core.viewchange` — the Chapter-3 view-change protocol
+  (P/Q sets, the primary's decision procedure) as pure, testable functions.
+* :mod:`repro.core.client` — the client protocol.
+"""
+
+from repro.core.config import ReplicaSetConfig, ProtocolOptions, AuthMode
+from repro.core.quorum import quorum_size, weak_size, max_faulty
+
+__all__ = [
+    "ReplicaSetConfig",
+    "ProtocolOptions",
+    "AuthMode",
+    "quorum_size",
+    "weak_size",
+    "max_faulty",
+]

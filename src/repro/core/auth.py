@@ -1,0 +1,176 @@
+"""Message authentication shared by replicas and clients.
+
+One :class:`Authentication` instance per node wraps the cryptographic
+substrate: in MAC mode (BFT) multicast messages carry authenticators and
+point-to-point messages carry a single MAC; in signature mode (BFT-PK)
+every message carries a signature.  The object both performs the real
+cryptography (so tampering is detectable in tests) and charges the
+simulated CPU cost of each operation through the environment, which is what
+makes BFT-PK slow in the reproduced benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.config import AuthMode
+from repro.core.env import Env
+from repro.core.messages import Message
+from repro.crypto.authenticator import Authenticator, make_authenticator
+from repro.crypto.keys import SessionKeyTable
+from repro.crypto.mac import MACKey, compute_mac, verify_mac
+from repro.crypto.signatures import KeyPair, Signature, SignatureRegistry
+from repro.perfmodel.params import CryptoCosts
+
+
+@dataclass
+class MACAuth:
+    """A single MAC tag attached to a point-to-point message."""
+
+    sender: str
+    receiver: str
+    tag: bytes
+
+    def size_bytes(self) -> int:
+        return 16
+
+
+class Authentication:
+    """Authenticates outgoing messages and verifies incoming ones."""
+
+    def __init__(
+        self,
+        owner: str,
+        mode: AuthMode,
+        keys: SessionKeyTable,
+        registry: SignatureRegistry,
+        keypair: Optional[KeyPair] = None,
+        crypto_costs: Optional[CryptoCosts] = None,
+        env: Optional[Env] = None,
+        real_crypto: bool = True,
+    ) -> None:
+        self.owner = owner
+        self.mode = mode
+        self.keys = keys
+        self.registry = registry
+        self.keypair = keypair or registry.generate(owner)
+        self.costs = crypto_costs or CryptoCosts()
+        self.env = env
+        self.real_crypto = real_crypto
+
+    # -------------------------------------------------------------- internals
+    def _charge(self, micros: float) -> None:
+        if self.env is not None:
+            self.env.charge(micros)
+
+    def bind_env(self, env: Env) -> None:
+        self.env = env
+
+    # ---------------------------------------------------------------- signing
+    def sign_multicast(self, message: Message, receivers: Iterable[str]) -> Message:
+        """Attach an authenticator (MAC mode) or a signature (PK mode)."""
+        receivers = [r for r in receivers if r != self.owner]
+        payload = message.payload_bytes()
+        self._charge(self.costs.digest_cost(len(payload)))
+        if self.mode is AuthMode.SIGNATURE:
+            self._charge(self.costs.signature_sign)
+            if self.real_crypto:
+                message.auth = self.keypair.sign(payload)
+            else:
+                message.auth = Signature(self.owner, self.keypair.public_key, b"")
+            return message
+        self._charge(self.costs.mac * len(receivers))
+        if self.real_crypto:
+            outbound = {
+                r: self.keys.key_for_sending_to(r)
+                for r in receivers
+                if r in self.keys.outbound
+            }
+            message.auth = make_authenticator(self.owner, outbound, payload)
+        else:
+            message.auth = Authenticator(sender=self.owner, tags={r: b"" for r in receivers})
+        return message
+
+    def sign_with_private_key(self, message: Message) -> Message:
+        """Sign a message with the node's private key regardless of the
+        authentication mode.  Used for new-key messages and recovery
+        requests (Sections 4.3.1 and 5.5), which must stay verifiable even
+        when session keys are stale."""
+        payload = message.payload_bytes()
+        self._charge(self.costs.digest_cost(len(payload)))
+        self._charge(self.costs.signature_sign)
+        if self.real_crypto:
+            message.auth = self.keypair.sign(payload)
+        else:
+            message.auth = Signature(self.owner, self.keypair.public_key, b"")
+        return message
+
+    def sign_point_to_point(self, message: Message, receiver: str) -> Message:
+        payload = message.payload_bytes()
+        self._charge(self.costs.digest_cost(len(payload)))
+        if self.mode is AuthMode.SIGNATURE:
+            self._charge(self.costs.signature_sign)
+            if self.real_crypto:
+                message.auth = self.keypair.sign(payload)
+            else:
+                message.auth = Signature(self.owner, self.keypair.public_key, b"")
+            return message
+        self._charge(self.costs.mac)
+        if self.real_crypto and receiver in self.keys.outbound:
+            key = self.keys.key_for_sending_to(receiver)
+            message.auth = MACAuth(self.owner, receiver, compute_mac(key, payload))
+        else:
+            message.auth = MACAuth(self.owner, receiver, b"")
+        return message
+
+    # ------------------------------------------------------------ verification
+    def verify(self, message: Message) -> bool:
+        """Verify an incoming message's authentication metadata.
+
+        Unauthenticated messages are rejected, matching the DoS defence of
+        Section 5.5 (replicas only accept messages authenticated by a known
+        principal).
+        """
+        auth = message.auth
+        payload = message.payload_bytes()
+        self._charge(self.costs.digest_cost(len(payload)))
+        if auth is None:
+            return False
+        if isinstance(auth, Signature):
+            self._charge(self.costs.signature_verify)
+            if not self.real_crypto:
+                return True
+            return self.registry.verify(payload, auth)
+        if isinstance(auth, Authenticator):
+            self._charge(self.costs.mac)
+            if not self.real_crypto:
+                return self.owner not in auth.corrupt_for
+            if auth.sender not in self.keys.inbound:
+                return False
+            key = self.keys.key_for_receiving_from(auth.sender)
+            return auth.verify_entry(self.owner, key, payload)
+        if isinstance(auth, MACAuth):
+            self._charge(self.costs.mac)
+            if not self.real_crypto:
+                return True
+            if auth.sender not in self.keys.inbound:
+                return False
+            key = self.keys.key_for_receiving_from(auth.sender)
+            return verify_mac(key, payload, auth.tag)
+        return False
+
+    # -------------------------------------------------------------- execution
+    def charge_digest(self, size_bytes: int) -> None:
+        self._charge(self.costs.digest_cost(size_bytes))
+
+
+def build_session_keys(owner: str, peers: Iterable[str]) -> SessionKeyTable:
+    """Session keys between ``owner`` and every peer, using the deterministic
+    initial-key derivation (the simulation's stand-in for the key-exchange
+    protocol of Section 4.3.1)."""
+    table = SessionKeyTable(owner=owner)
+    for peer in peers:
+        if peer != owner:
+            table.install_pair(peer)
+    return table

@@ -1,0 +1,269 @@
+"""The BFT client protocol (Section 2.3.2 and the Chapter-5 optimizations).
+
+A client sends a request to the primary (or multicasts it, for read-only
+and separately-transmitted requests), collects replies, and accepts a
+result once it holds a large-enough certificate of matching replies:
+
+* a weak certificate (f+1) of non-tentative replies in the base protocol,
+* a quorum certificate (2f+1) of tentative replies when replicas execute
+  tentatively (Section 5.1.2), and
+* a quorum certificate for read-only requests (Section 5.1.3).
+
+If replies do not arrive before the retransmission timeout, the client
+retransmits the request to all replicas with exponential backoff; a
+read-only request that cannot gather a quorum is retried through the
+normal read-write path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.core.auth import Authentication
+from repro.core.config import ProtocolOptions, ReplicaSetConfig, DEFAULT_OPTIONS
+from repro.core.env import Env
+from repro.core.messages import Message, Reply, Request
+from repro.crypto.digests import digest
+
+RETRANSMIT_TIMER = "client-retransmit"
+
+CompletionCallback = Callable[["CompletedRequest"], None]
+
+
+@dataclass
+class CompletedRequest:
+    """Delivered to the completion callback when an operation finishes."""
+
+    operation: bytes
+    timestamp: int
+    result: bytes
+    latency: float
+    sent_at: float
+    completed_at: float
+    read_only: bool
+    retransmissions: int
+    view: int
+
+
+@dataclass
+class _PendingRequest:
+    request: Request
+    sent_at: float
+    read_only: bool
+    #: Replica ids that replied, grouped by (result digest, tentative flag).
+    votes: Dict[Tuple[bytes, bool], Set[str]] = field(default_factory=dict)
+    #: Full results seen, keyed by result digest.
+    results: Dict[bytes, bytes] = field(default_factory=dict)
+    retransmissions: int = 0
+
+
+class Client:
+    """One BFT client."""
+
+    def __init__(
+        self,
+        client_id: str,
+        config: ReplicaSetConfig,
+        env: Env,
+        auth: Authentication,
+        options: ProtocolOptions = DEFAULT_OPTIONS,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        self.id = client_id
+        self.config = config
+        self.env = env
+        self.auth = auth
+        self.auth.bind_env(env)
+        self.options = options
+        self.on_complete = on_complete
+
+        self.view = 0
+        self.last_timestamp = 0
+        self.pending: Optional[_PendingRequest] = None
+        self.completed: Dict[int, CompletedRequest] = {}
+        self._replier_rotation = 0
+        self._timeout = config.client_retransmission_timeout
+
+    # ------------------------------------------------------------------ API
+    def invoke(self, operation: bytes, read_only: bool = False) -> int:
+        """Issue an operation; returns the request timestamp.
+
+        The client protocol assumes one outstanding operation at a time
+        (Section 2.3.2); callers wait for completion before invoking again.
+        """
+        if self.pending is not None:
+            raise RuntimeError(
+                f"client {self.id} already has an outstanding request"
+            )
+        self.last_timestamp += 1
+        timestamp = self.last_timestamp
+        request = Request(
+            operation=operation,
+            timestamp=timestamp,
+            client=self.id,
+            read_only=read_only and self.options.read_only_optimization,
+            designated_replier=self._pick_designated_replier(),
+            sender=self.id,
+        )
+        self.pending = _PendingRequest(
+            request=request, sent_at=self.env.now(), read_only=request.read_only
+        )
+        self._transmit(first=True)
+        return timestamp
+
+    def is_complete(self, timestamp: int) -> bool:
+        return timestamp in self.completed
+
+    def result_of(self, timestamp: int) -> Optional[CompletedRequest]:
+        return self.completed.get(timestamp)
+
+    @property
+    def busy(self) -> bool:
+        return self.pending is not None
+
+    # ---------------------------------------------------------------- sending
+    def _pick_designated_replier(self) -> Optional[str]:
+        if not self.options.digest_replies:
+            return None
+        replicas = self.config.replica_ids
+        choice = replicas[self._replier_rotation % len(replicas)]
+        self._replier_rotation += 1
+        return choice
+
+    def _transmit(self, first: bool) -> None:
+        assert self.pending is not None
+        request = self.pending.request
+        broadcast = (
+            request.read_only
+            or not first
+            or (
+                self.options.separate_request_transmission
+                and len(request.operation) > self.options.separate_request_threshold
+            )
+        )
+        if broadcast:
+            self.auth.sign_multicast(request, self.config.replica_ids)
+            self.env.broadcast(self.config.replica_ids, request)
+        else:
+            primary = self.config.primary_of(self.view)
+            self.auth.sign_multicast(request, self.config.replica_ids)
+            self.env.send(primary, request)
+        self.env.set_timer(RETRANSMIT_TIMER, self._timeout)
+
+    # --------------------------------------------------------------- receiving
+    def receive(self, message: Message) -> None:
+        if not isinstance(message, Reply):
+            return
+        if not self.auth.verify(message):
+            return
+        self.handle_reply(message)
+
+    def handle_reply(self, reply: Reply) -> None:
+        pending = self.pending
+        if pending is None or reply.timestamp != pending.request.timestamp:
+            return
+        if reply.client != self.id:
+            return
+        # Track the view so future requests go to the right primary.
+        self.view = max(self.view, reply.view)
+
+        key = (reply.result_digest, reply.tentative)
+        pending.votes.setdefault(key, set()).add(reply.replica)
+        if reply.result is not None:
+            if digest(reply.result) != reply.result_digest:
+                return
+            pending.results[reply.result_digest] = reply.result
+
+        self._check_complete()
+
+    def _required_votes(self, tentative: bool) -> int:
+        if self.pending is not None and self.pending.read_only:
+            return self.config.quorum
+        if tentative:
+            return self.config.quorum
+        return self.config.weak
+
+    def _check_complete(self) -> None:
+        pending = self.pending
+        if pending is None:
+            return
+        for (result_digest, tentative), voters in pending.votes.items():
+            # Tentative and non-tentative replies with the same result digest
+            # support each other; count the union but apply the stricter
+            # threshold only to purely-tentative certificates.
+            combined = set(voters)
+            if tentative:
+                combined |= pending.votes.get((result_digest, False), set())
+            required = self._required_votes(tentative)
+            if len(combined) < required:
+                continue
+            if result_digest not in pending.results:
+                # Certificate complete but the full result has not arrived
+                # (digest replies): wait for the designated replier or for a
+                # retransmission to request full replies.
+                continue
+            self._complete(result_digest)
+            return
+
+    def _complete(self, result_digest: bytes) -> None:
+        pending = self.pending
+        assert pending is not None
+        now = self.env.now()
+        completed = CompletedRequest(
+            operation=pending.request.operation,
+            timestamp=pending.request.timestamp,
+            result=pending.results[result_digest],
+            latency=now - pending.sent_at,
+            sent_at=pending.sent_at,
+            completed_at=now,
+            read_only=pending.read_only,
+            retransmissions=pending.retransmissions,
+            view=self.view,
+        )
+        self.completed[pending.request.timestamp] = completed
+        self.pending = None
+        self.env.cancel_timer(RETRANSMIT_TIMER)
+        self._timeout = self.config.client_retransmission_timeout
+        self.env.record("request-complete", timestamp=completed.timestamp,
+                        latency=completed.latency)
+        if self.on_complete is not None:
+            self.on_complete(completed)
+
+    # ----------------------------------------------------------------- timers
+    def on_timer(self, label: str) -> None:
+        if label != RETRANSMIT_TIMER or self.pending is None:
+            return
+        pending = self.pending
+        pending.retransmissions += 1
+        # Randomised exponential backoff in the paper; here deterministic
+        # doubling with a cap so transient unavailability (e.g. overlapping
+        # proactive recoveries) does not push completion out indefinitely.
+        self._timeout = min(
+            self._timeout * 2, 8 * self.config.client_retransmission_timeout
+        )
+        if pending.read_only:
+            # A read-only request that cannot gather a quorum (e.g. because
+            # of concurrent writes) is retried as a regular request.
+            pending.request = Request(
+                operation=pending.request.operation,
+                timestamp=pending.request.timestamp,
+                client=self.id,
+                read_only=False,
+                designated_replier=None,
+                sender=self.id,
+            )
+            pending.read_only = False
+            pending.votes.clear()
+            pending.results.clear()
+        else:
+            # Ask every replica for a full reply.
+            pending.request = Request(
+                operation=pending.request.operation,
+                timestamp=pending.request.timestamp,
+                client=self.id,
+                read_only=False,
+                designated_replier=None,
+                sender=self.id,
+            )
+        self._transmit(first=False)

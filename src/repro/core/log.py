@@ -1,0 +1,209 @@
+"""The replica message log: slots, certificates and water marks.
+
+Each sequence number maps to a :class:`Slot` that accumulates the
+pre-prepare, prepare and commit messages seen for it.  A request is
+*pre-prepared* once the slot holds a pre-prepare (or the replica sent one),
+*prepared* once it additionally holds 2f matching prepares from other
+replicas, and *committed* once it holds 2f+1 matching commits
+(Section 2.3.3).
+
+The log also tracks the water marks ``h`` (last stable checkpoint) and
+``H = h + L``; messages outside the window are refused, which is what lets
+garbage collection bound memory use (Section 2.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.messages import Checkpoint, Commit, PrePrepare, Prepare, Request
+from repro.crypto.digests import NULL_DIGEST
+
+
+@dataclass
+class Slot:
+    """Protocol state for one (view, sequence-number) assignment.
+
+    A slot is keyed by sequence number; messages for older views are
+    discarded when the replica moves to a new view, so at any time the slot
+    holds messages for at most one view.
+    """
+
+    seq: int
+    view: int = 0
+    pre_prepare: Optional[PrePrepare] = None
+    #: Prepares by replica id (only those matching the pre-prepare digest).
+    prepares: Dict[str, Prepare] = field(default_factory=dict)
+    #: Commits by replica id (matching digest).
+    commits: Dict[str, Commit] = field(default_factory=dict)
+    #: Set when this replica sent a pre-prepare or prepare for the digest.
+    pre_prepared_locally: bool = False
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+    executed_tentatively: bool = False
+
+    def digest(self) -> Optional[bytes]:
+        if self.pre_prepare is None:
+            return None
+        return self.pre_prepare.batch_digest()
+
+    def add_prepare(self, prepare: Prepare) -> bool:
+        """Record a prepare; returns True if it was new and matching."""
+        if prepare.seq != self.seq:
+            return False
+        if prepare.view != self.view:
+            return False
+        expected = self.digest()
+        if expected is not None and prepare.digest != expected:
+            return False
+        if prepare.replica in self.prepares:
+            return False
+        self.prepares[prepare.replica] = prepare
+        return True
+
+    def add_commit(self, commit: Commit) -> bool:
+        if commit.seq != self.seq:
+            return False
+        if commit.replica in self.commits:
+            return False
+        expected = self.digest()
+        if expected is not None and commit.digest != expected:
+            return False
+        self.commits[commit.replica] = commit
+        return True
+
+    def prepare_count(self) -> int:
+        return len(self.prepares)
+
+    def commit_count(self) -> int:
+        return len(self.commits)
+
+
+@dataclass
+class CheckpointRecord:
+    """Checkpoint messages collected for one sequence number."""
+
+    seq: int
+    #: Checkpoint messages keyed by (replica, digest).
+    messages: Dict[str, Checkpoint] = field(default_factory=dict)
+
+    def add(self, message: Checkpoint) -> bool:
+        if message.seq != self.seq:
+            return False
+        existing = self.messages.get(message.replica)
+        if existing is not None and existing.state_digest == message.state_digest:
+            return False
+        self.messages[message.replica] = message
+        return True
+
+    def count_for(self, state_digest: bytes) -> int:
+        return sum(
+            1 for m in self.messages.values() if m.state_digest == state_digest
+        )
+
+    def digests(self) -> List[bytes]:
+        return sorted({m.state_digest for m in self.messages.values()})
+
+    def stable_digest(self, threshold: int) -> Optional[bytes]:
+        """Return the digest with at least ``threshold`` votes, if any."""
+        for candidate in self.digests():
+            if self.count_for(candidate) >= threshold:
+                return candidate
+        return None
+
+
+class MessageLog:
+    """The per-replica log of agreement and checkpoint messages."""
+
+    def __init__(self, log_size: int) -> None:
+        self.log_size = log_size
+        self.low_water_mark = 0
+        self.slots: Dict[int, Slot] = {}
+        self.checkpoints: Dict[int, CheckpointRecord] = {}
+        #: Requests known to this replica, keyed by request digest.  Used to
+        #: execute batches whose requests travelled separately.
+        self.requests: Dict[bytes, Request] = {}
+        #: Batch contents keyed by batch digest.  Used to re-propose requests
+        #: across view changes (condition A3 of the decision procedure needs
+        #: the primary to hold the batch for the digest it selects).
+        self.batches: Dict[bytes, PrePrepare] = {}
+
+    # ------------------------------------------------------------ water marks
+    @property
+    def high_water_mark(self) -> int:
+        return self.low_water_mark + self.log_size
+
+    def in_window(self, seq: int) -> bool:
+        """True when ``h < seq <= H`` (Section 2.3.3)."""
+        return self.low_water_mark < seq <= self.high_water_mark
+
+    # ----------------------------------------------------------------- slots
+    def slot(self, seq: int, view: Optional[int] = None) -> Slot:
+        slot = self.slots.get(seq)
+        if slot is None:
+            slot = Slot(seq=seq, view=view or 0)
+            self.slots[seq] = slot
+        elif view is not None and view > slot.view:
+            # Entering a later view for this sequence number resets the slot's
+            # agreement state; execution flags persist.
+            executed = slot.executed
+            executed_tentatively = slot.executed_tentatively
+            slot = Slot(seq=seq, view=view)
+            slot.executed = executed
+            slot.executed_tentatively = executed_tentatively
+            self.slots[seq] = slot
+        return slot
+
+    def existing_slot(self, seq: int) -> Optional[Slot]:
+        return self.slots.get(seq)
+
+    def iter_slots(self) -> Iterable[Slot]:
+        return iter(sorted(self.slots.values(), key=lambda s: s.seq))
+
+    # ------------------------------------------------------------ checkpoints
+    def checkpoint_record(self, seq: int) -> CheckpointRecord:
+        record = self.checkpoints.get(seq)
+        if record is None:
+            record = CheckpointRecord(seq=seq)
+            self.checkpoints[seq] = record
+        return record
+
+    # --------------------------------------------------------------- requests
+    def remember_request(self, request: Request) -> None:
+        self.requests[request.request_digest()] = request
+
+    def request_by_digest(self, request_digest: bytes) -> Optional[Request]:
+        if request_digest == NULL_DIGEST:
+            return Request.null_request()
+        return self.requests.get(request_digest)
+
+    def remember_batch(self, pre_prepare: PrePrepare) -> None:
+        self.batches[pre_prepare.batch_digest()] = pre_prepare
+
+    def batch_by_digest(self, batch_digest: bytes) -> Optional[PrePrepare]:
+        return self.batches.get(batch_digest)
+
+    def has_batch(self, batch_digest: bytes) -> bool:
+        return batch_digest == NULL_DIGEST or batch_digest in self.batches
+
+    # ------------------------------------------------------- garbage collect
+    def collect_garbage(self, stable_seq: int) -> None:
+        """Discard everything at or below the new stable checkpoint."""
+        if stable_seq <= self.low_water_mark:
+            return
+        self.low_water_mark = stable_seq
+        self.slots = {seq: s for seq, s in self.slots.items() if seq > stable_seq}
+        self.checkpoints = {
+            seq: record
+            for seq, record in self.checkpoints.items()
+            if seq >= stable_seq
+        }
+
+    # -------------------------------------------------------------- summaries
+    def prepared_seqs(self) -> Tuple[int, ...]:
+        return tuple(sorted(s.seq for s in self.slots.values() if s.prepared))
+
+    def committed_seqs(self) -> Tuple[int, ...]:
+        return tuple(sorted(s.seq for s in self.slots.values() if s.committed))

@@ -1,0 +1,42 @@
+"""Quorum arithmetic (Section 2.3.1).
+
+With ``n = 3f + 1`` replicas, quorums are any set of at least ``2f + 1``
+replicas and weak certificates need ``f + 1`` messages from distinct
+replicas.  Quorums have the intersection property (any two quorums share a
+correct replica) and the availability property (some quorum contains no
+faulty replica).
+"""
+
+from __future__ import annotations
+
+
+def max_faulty(n: int) -> int:
+    """Maximum number of simultaneous faults tolerated by ``n`` replicas."""
+    if n < 4:
+        raise ValueError("BFT requires at least 4 replicas (n >= 3f + 1, f >= 1)")
+    return (n - 1) // 3
+
+
+def replicas_for(f: int) -> int:
+    """Minimum replica-group size to tolerate ``f`` faults."""
+    if f < 1:
+        raise ValueError("f must be at least 1")
+    return 3 * f + 1
+
+
+def quorum_size(n: int) -> int:
+    """Size of a quorum certificate (2f + 1)."""
+    return 2 * max_faulty(n) + 1
+
+
+def weak_size(n: int) -> int:
+    """Size of a weak certificate (f + 1): at least one correct replica."""
+    return max_faulty(n) + 1
+
+
+def has_quorum(count: int, n: int) -> bool:
+    return count >= quorum_size(n)
+
+
+def has_weak_certificate(count: int, n: int) -> bool:
+    return count >= weak_size(n)

@@ -1,0 +1,56 @@
+"""Authenticators (Section 3.2.1).
+
+An authenticator is a vector of MACs, one per replica, appended to messages
+that are multicast to the replica group.  Each receiver checks only its own
+entry.  Unlike a signature, an authenticator does not let a receiver prove
+to a third party that the message is authentic — that weakness is what
+forces the redesigned view-change protocol of Chapter 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.crypto.mac import MACKey, compute_mac, verify_mac
+
+#: Size in bytes of one authenticator entry (nonce amortised; 8 bytes per
+#: replica as stated in Section 3.2.1: "it is equal to 8n bytes").
+ENTRY_SIZE = 8
+
+
+@dataclass
+class Authenticator:
+    """A vector of MAC tags keyed by receiver identifier.
+
+    ``corrupt_for`` lists receivers whose entries were deliberately
+    corrupted — used by the fault injector to model faulty clients that send
+    requests with partially-correct authenticators (Section 3.2.2).
+    """
+
+    sender: str
+    tags: Dict[str, bytes] = field(default_factory=dict)
+    corrupt_for: frozenset = frozenset()
+
+    def size_bytes(self) -> int:
+        return ENTRY_SIZE * len(self.tags)
+
+    def verify_entry(self, receiver: str, key: MACKey, data: bytes) -> bool:
+        """Check the entry for ``receiver``; missing or corrupted entries fail."""
+        if receiver in self.corrupt_for:
+            return False
+        tag = self.tags.get(receiver)
+        if tag is None:
+            return False
+        return verify_mac(key, data, tag)
+
+
+def make_authenticator(
+    sender: str,
+    keys: Mapping[str, MACKey],
+    data: bytes,
+    corrupt_for: Iterable[str] = (),
+) -> Authenticator:
+    """Build an authenticator over ``data`` for every receiver in ``keys``."""
+    tags = {receiver: compute_mac(key, data) for receiver, key in keys.items()}
+    return Authenticator(sender=sender, tags=tags, corrupt_for=frozenset(corrupt_for))

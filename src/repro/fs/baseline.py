@@ -1,0 +1,78 @@
+"""The unreplicated NFS baseline (NFS-std in Section 8.6).
+
+A single server running the same :class:`NFSService` behind a plain
+request/reply exchange over the simulated network — no replication, no
+agreement, only a MAC per message.  The Andrew benchmark runs against this
+baseline to produce the BFS-vs-NFS-std comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.unreplicated import UnreplicatedCluster
+from repro.fs.nfs import NFSClientOps, NFSService
+from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
+
+
+class UnreplicatedNFS:
+    """A single-server NFS-like service with the BFS client API."""
+
+    def __init__(
+        self, params: ModelParameters = PAPER_PARAMETERS, seed: int = 0
+    ) -> None:
+        self.cluster = UnreplicatedCluster(service_factory=NFSService, params=params,
+                                           seed=seed)
+        self._client = self.cluster.new_client()
+        self.operations_issued = 0
+
+    def _invoke(self, operation: bytes) -> bytes:
+        self.operations_issued += 1
+        return self._client.invoke(operation)
+
+    # Same operation surface as BFSClient, so workloads are interchangeable.
+    def mkdir(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.mkdir(path))
+
+    def rmdir(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.rmdir(path))
+
+    def create(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.create(path))
+
+    def remove(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.remove(path))
+
+    def write_file(self, path: bytes, data: bytes, offset: int = 0) -> bytes:
+        return self._invoke(NFSClientOps.write(path, offset, data))
+
+    def read_file(self, path: bytes, offset: int = 0, count: int = 65536) -> bytes:
+        return self._invoke(NFSClientOps.read(path, offset, count))
+
+    def stat(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.getattr(path))
+
+    def lookup(self, path: bytes) -> bytes:
+        return self._invoke(NFSClientOps.lookup(path))
+
+    def listdir(self, path: bytes) -> list[bytes]:
+        result = self._invoke(NFSClientOps.readdir(path))
+        if result in (b"", b"ENOTDIR", b"ENOENT"):
+            return []
+        return result.split(b",")
+
+    def rename(self, src: bytes, dst: bytes) -> bytes:
+        return self._invoke(NFSClientOps.rename(src, dst))
+
+    def write_new_file(self, path: bytes, data: bytes) -> bytes:
+        created = self.create(path)
+        if not created.startswith(b"FH:"):
+            return created
+        return self.write_file(path, data)
+
+    def exists(self, path: bytes) -> bool:
+        return self.lookup(path).startswith(b"FH:")
+
+    @property
+    def now(self) -> float:
+        return self.cluster.now

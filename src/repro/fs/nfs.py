@@ -1,0 +1,390 @@
+"""An in-memory NFS-like file service.
+
+The service is a deterministic state machine over a tree of directories and
+files, with the operation vocabulary BFS needs (a subset of NFS v2):
+
+``LOOKUP``, ``GETATTR``, ``READ``, ``WRITE``, ``CREATE``, ``REMOVE``,
+``MKDIR``, ``RMDIR``, ``READDIR``, ``RENAME``.
+
+Operations are encoded as length-prefixed byte strings so they can travel
+as opaque request payloads.  The time-last-modified attribute is the one
+source of non-determinism (Section 5.4): the primary proposes a timestamp
+for the batch and replicas validate it, so all replicas assign identical
+mtimes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import pack
+from repro.services.interface import ExecutionResult, Service, bytes_digest
+
+#: Maximum clock skew, in microseconds, a backup accepts between the
+#: primary's proposed mtime and its own clock (Section 5.4).
+MTIME_TOLERANCE = 10_000_000.0
+
+_READ_ONLY_OPS = {b"LOOKUP", b"GETATTR", b"READ", b"READDIR"}
+
+
+def encode_op(op: bytes, *args: bytes) -> bytes:
+    """Encode an NFS operation and its arguments."""
+    parts = [op] + list(args)
+    body = b""
+    for part in parts:
+        body += struct.pack(">I", len(part)) + part
+    return body
+
+
+def decode_op(data: bytes) -> List[bytes]:
+    """Decode an operation produced by :func:`encode_op`."""
+    parts: List[bytes] = []
+    offset = 0
+    while offset + 4 <= len(data):
+        (length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        parts.append(data[offset:offset + length])
+        offset += length
+    return parts
+
+
+@dataclass
+class Inode:
+    """A file or directory."""
+
+    inode_number: int
+    is_directory: bool
+    data: bytes = b""
+    children: Dict[bytes, int] = field(default_factory=dict)
+    mtime: int = 0
+    owner: str = ""
+
+    def size(self) -> int:
+        return len(self.data)
+
+
+class NFSService(Service):
+    """The deterministic NFS-like state machine replicated by BFS."""
+
+    page_size = 4096
+
+    def __init__(self) -> None:
+        self._inodes: Dict[int, Inode] = {}
+        self._next_inode = 2
+        root = Inode(inode_number=1, is_directory=True)
+        self._inodes[1] = root
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        operation: bytes,
+        client: str,
+        nondet: bytes = b"",
+        read_only: bool = False,
+    ) -> ExecutionResult:
+        parts = decode_op(operation)
+        if not parts:
+            return ExecutionResult(result=b"ERR empty")
+        verb = parts[0].upper()
+        mtime = self._decode_mtime(nondet)
+        try:
+            handler = {
+                b"LOOKUP": self._op_lookup,
+                b"GETATTR": self._op_getattr,
+                b"READ": self._op_read,
+                b"READDIR": self._op_readdir,
+                b"WRITE": self._op_write,
+                b"CREATE": self._op_create,
+                b"REMOVE": self._op_remove,
+                b"MKDIR": self._op_mkdir,
+                b"RMDIR": self._op_rmdir,
+                b"RENAME": self._op_rename,
+            }[verb]
+        except KeyError:
+            return ExecutionResult(result=b"ERR bad-op")
+        is_read = verb in _READ_ONLY_OPS
+        if read_only and not is_read:
+            return ExecutionResult(result=b"ERR not-read-only", was_read_only=True)
+        result = handler(parts[1:], client, mtime)
+        return ExecutionResult(result=result, was_read_only=is_read)
+
+    def is_read_only(self, operation: bytes) -> bool:
+        parts = decode_op(operation)
+        return bool(parts) and parts[0].upper() in _READ_ONLY_OPS
+
+    # -------------------------------------------------------- non-determinism
+    def propose_nondet(self, now: float) -> bytes:
+        """The primary proposes the batch's time-last-modified value."""
+        return struct.pack(">Q", int(now))
+
+    def check_nondet(self, nondet: bytes, now: float) -> bool:
+        """Backups accept the proposed mtime if it is close to their clock."""
+        if not nondet:
+            return True
+        if len(nondet) != 8:
+            return False
+        (proposed,) = struct.unpack(">Q", nondet)
+        return abs(proposed - now) <= MTIME_TOLERANCE
+
+    @staticmethod
+    def _decode_mtime(nondet: bytes) -> int:
+        if len(nondet) == 8:
+            return struct.unpack(">Q", nondet)[0]
+        return 0
+
+    # --------------------------------------------------------------- handlers
+    def _resolve(self, path: bytes) -> Optional[Inode]:
+        """Resolve an absolute path (``/a/b/c``) to an inode."""
+        node = self._inodes[1]
+        for component in path.split(b"/"):
+            if not component:
+                continue
+            if not node.is_directory or component not in node.children:
+                return None
+            node = self._inodes[node.children[component]]
+        return node
+
+    def _parent_of(self, path: bytes) -> Tuple[Optional[Inode], bytes]:
+        path = path.rstrip(b"/")
+        if b"/" not in path:
+            return self._inodes[1], path
+        parent_path, _, name = path.rpartition(b"/")
+        parent = self._resolve(parent_path) if parent_path else self._inodes[1]
+        return parent, name
+
+    def _op_lookup(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        node = self._resolve(args[0]) if args else None
+        if node is None:
+            return b"ENOENT"
+        return b"FH:%d" % node.inode_number
+
+    def _op_getattr(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        node = self._resolve(args[0]) if args else None
+        if node is None:
+            return b"ENOENT"
+        kind = b"dir" if node.is_directory else b"file"
+        return b"%s size=%d mtime=%d" % (kind, node.size(), node.mtime)
+
+    def _op_read(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if len(args) < 3:
+            return b"ERR args"
+        node = self._resolve(args[0])
+        if node is None or node.is_directory:
+            return b"ENOENT"
+        offset, count = int(args[1]), int(args[2])
+        return node.data[offset:offset + count]
+
+    def _op_readdir(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        node = self._resolve(args[0]) if args else None
+        if node is None or not node.is_directory:
+            return b"ENOTDIR"
+        return b",".join(sorted(node.children))
+
+    def _op_write(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if len(args) < 3:
+            return b"ERR args"
+        node = self._resolve(args[0])
+        if node is None or node.is_directory:
+            return b"ENOENT"
+        offset = int(args[1])
+        data = args[2]
+        buffer = bytearray(node.data)
+        if len(buffer) < offset:
+            buffer.extend(b"\x00" * (offset - len(buffer)))
+        buffer[offset:offset + len(data)] = data
+        node.data = bytes(buffer)
+        node.mtime = mtime
+        return b"OK size=%d" % node.size()
+
+    def _create_node(
+        self, path: bytes, is_directory: bool, client: str, mtime: int
+    ) -> bytes:
+        parent, name = self._parent_of(path)
+        if parent is None or not parent.is_directory or not name:
+            return b"ENOENT"
+        if name in parent.children:
+            return b"EEXIST"
+        inode_number = self._next_inode
+        self._next_inode += 1
+        node = Inode(
+            inode_number=inode_number,
+            is_directory=is_directory,
+            mtime=mtime,
+            owner=client,
+        )
+        self._inodes[inode_number] = node
+        parent.children[name] = inode_number
+        parent.mtime = mtime
+        return b"FH:%d" % inode_number
+
+    def _op_create(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if not args:
+            return b"ERR args"
+        return self._create_node(args[0], False, client, mtime)
+
+    def _op_mkdir(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if not args:
+            return b"ERR args"
+        return self._create_node(args[0], True, client, mtime)
+
+    def _remove_node(self, path: bytes, expect_dir: bool, mtime: int) -> bytes:
+        parent, name = self._parent_of(path)
+        if parent is None or name not in parent.children:
+            return b"ENOENT"
+        node = self._inodes[parent.children[name]]
+        if node.is_directory != expect_dir:
+            return b"EISDIR" if node.is_directory else b"ENOTDIR"
+        if node.is_directory and node.children:
+            return b"ENOTEMPTY"
+        del parent.children[name]
+        del self._inodes[node.inode_number]
+        parent.mtime = mtime
+        return b"OK"
+
+    def _op_remove(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if not args:
+            return b"ERR args"
+        return self._remove_node(args[0], False, mtime)
+
+    def _op_rmdir(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if not args:
+            return b"ERR args"
+        return self._remove_node(args[0], True, mtime)
+
+    def _op_rename(self, args: List[bytes], client: str, mtime: int) -> bytes:
+        if len(args) < 2:
+            return b"ERR args"
+        src_parent, src_name = self._parent_of(args[0])
+        dst_parent, dst_name = self._parent_of(args[1])
+        if src_parent is None or src_name not in src_parent.children:
+            return b"ENOENT"
+        if dst_parent is None or not dst_parent.is_directory or not dst_name:
+            return b"ENOENT"
+        inode_number = src_parent.children.pop(src_name)
+        dst_parent.children[dst_name] = inode_number
+        src_parent.mtime = mtime
+        dst_parent.mtime = mtime
+        return b"OK"
+
+    # ------------------------------------------------------------- inspection
+    def file_count(self) -> int:
+        return sum(1 for node in self._inodes.values() if not node.is_directory)
+
+    def directory_count(self) -> int:
+        return sum(1 for node in self._inodes.values() if node.is_directory)
+
+    def total_bytes(self) -> int:
+        return sum(node.size() for node in self._inodes.values())
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> object:
+        return (
+            {
+                number: (
+                    node.is_directory,
+                    node.data,
+                    dict(node.children),
+                    node.mtime,
+                    node.owner,
+                )
+                for number, node in self._inodes.items()
+            },
+            self._next_inode,
+        )
+
+    def restore(self, snapshot: object) -> None:
+        inodes, next_inode = snapshot  # type: ignore[misc]
+        self._inodes = {
+            number: Inode(
+                inode_number=number,
+                is_directory=is_dir,
+                data=data,
+                children=dict(children),
+                mtime=mtime,
+                owner=owner,
+            )
+            for number, (is_dir, data, children, mtime, owner) in inodes.items()
+        }
+        self._next_inode = next_inode
+
+    def state_digest(self) -> bytes:
+        encoded = pack(
+            tuple(
+                (
+                    number,
+                    node.is_directory,
+                    node.data,
+                    tuple(sorted(node.children.items())),
+                    node.mtime,
+                )
+                for number, node in sorted(self._inodes.items())
+            )
+        )
+        return bytes_digest(encoded)
+
+    def pages(self) -> Dict[int, bytes]:
+        pages: Dict[int, bytes] = {}
+        for number, node in sorted(self._inodes.items()):
+            record = pack(
+                number,
+                node.is_directory,
+                node.data,
+                tuple(sorted(node.children.items())),
+                node.mtime,
+            )
+            pages[number] = record[: self.page_size]
+        return pages
+
+    def corrupt(self) -> None:
+        self._inodes[1].children[b"__corrupted__"] = 999999
+
+
+class NFSClientOps:
+    """Helpers to build NFS operation payloads (shared by BFS and baseline)."""
+
+    @staticmethod
+    def lookup(path: bytes) -> bytes:
+        return encode_op(b"LOOKUP", path)
+
+    @staticmethod
+    def getattr(path: bytes) -> bytes:
+        return encode_op(b"GETATTR", path)
+
+    @staticmethod
+    def read(path: bytes, offset: int, count: int) -> bytes:
+        return encode_op(b"READ", path, str(offset).encode(), str(count).encode())
+
+    @staticmethod
+    def readdir(path: bytes) -> bytes:
+        return encode_op(b"READDIR", path)
+
+    @staticmethod
+    def write(path: bytes, offset: int, data: bytes) -> bytes:
+        return encode_op(b"WRITE", path, str(offset).encode(), data)
+
+    @staticmethod
+    def create(path: bytes) -> bytes:
+        return encode_op(b"CREATE", path)
+
+    @staticmethod
+    def mkdir(path: bytes) -> bytes:
+        return encode_op(b"MKDIR", path)
+
+    @staticmethod
+    def remove(path: bytes) -> bytes:
+        return encode_op(b"REMOVE", path)
+
+    @staticmethod
+    def rmdir(path: bytes) -> bytes:
+        return encode_op(b"RMDIR", path)
+
+    @staticmethod
+    def rename(src: bytes, dst: bytes) -> bytes:
+        return encode_op(b"RENAME", src, dst)
+
+    @staticmethod
+    def is_read_only(operation: bytes) -> bool:
+        parts = decode_op(operation)
+        return bool(parts) and parts[0].upper() in _READ_ONLY_OPS

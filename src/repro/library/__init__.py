@@ -1,0 +1,11 @@
+"""The BFT library (Chapter 6).
+
+:class:`BFTCluster` assembles a complete simulated deployment — replicas,
+clients, network, cost model and fault injection — and exposes a simple
+synchronous ``invoke`` interface mirroring the library API of Figure 6-2.
+"""
+
+from repro.library.cluster import BFTCluster, SyncClient
+from repro.library.api import ReplicatedService
+
+__all__ = ["BFTCluster", "SyncClient", "ReplicatedService"]

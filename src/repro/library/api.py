@@ -1,0 +1,83 @@
+"""The BFT library interface (Figure 6-2), Python style.
+
+The paper's library exposes ``Byz_init_client`` / ``Byz_invoke`` on the
+client side and ``Byz_init_replica`` with an ``execute`` upcall on the
+server side.  :class:`ReplicatedService` offers the same shape on top of
+the simulated cluster: construct it with a service factory (the ``execute``
+upcall provider) and call :meth:`invoke` from as many logical clients as
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.config import DEFAULT_OPTIONS, ProtocolOptions
+from repro.library.cluster import BFTCluster, SyncClient
+from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
+from repro.services.interface import Service
+
+
+class ReplicatedService:
+    """A replicated service with a blocking ``invoke`` interface.
+
+    Example::
+
+        from repro.library import ReplicatedService
+        from repro.services import KeyValueStore
+
+        service = ReplicatedService(KeyValueStore, f=1)
+        service.invoke(b"SET colour blue")
+        assert service.invoke(b"GET colour", read_only=True) == b"blue"
+    """
+
+    def __init__(
+        self,
+        service_factory: Callable[[], Service],
+        f: int = 1,
+        options: ProtocolOptions = DEFAULT_OPTIONS,
+        params: ModelParameters = PAPER_PARAMETERS,
+        seed: int = 0,
+        checkpoint_interval: int = 128,
+    ) -> None:
+        self.cluster = BFTCluster.create(
+            f=f,
+            service_factory=service_factory,
+            options=options,
+            params=params,
+            seed=seed,
+            checkpoint_interval=checkpoint_interval,
+        )
+        self._clients: Dict[str, SyncClient] = {}
+        self._default_client = self.cluster.new_client()
+
+    # ------------------------------------------------------------------ API
+    def invoke(
+        self,
+        operation: bytes,
+        read_only: bool = False,
+        client: Optional[str] = None,
+    ) -> bytes:
+        """Invoke an operation and return its result (the ``Byz_invoke`` call)."""
+        sync = self._client_for(client)
+        return sync.invoke(operation, read_only=read_only)
+
+    def client(self, name: str) -> SyncClient:
+        """A named client handle (each name maps to one BFT client)."""
+        return self._client_for(name)
+
+    def _client_for(self, name: Optional[str]) -> SyncClient:
+        if name is None:
+            return self._default_client
+        if name not in self._clients:
+            self._clients[name] = self.cluster.new_client(name)
+        return self._clients[name]
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def config(self):
+        return self.cluster.config
+
+    def replica_service(self, replica_id: str) -> Service:
+        """Direct access to one replica's service instance (for tests)."""
+        return self.cluster.services[replica_id]

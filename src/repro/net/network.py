@@ -1,0 +1,133 @@
+"""The simulated network.
+
+Delivers messages between registered endpoints through the scheduler,
+applying the configured :class:`NetworkConditions`.  The network keeps
+simple counters (messages and bytes sent/dropped) that the benchmark
+harness reports alongside latency and throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional
+
+from repro.net.conditions import NetworkConditions
+from repro.sim.events import EventKind
+from repro.sim.rng import SimRandom
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class Envelope:
+    """What the network delivers to a node: a message plus its provenance."""
+
+    source: str
+    destination: str
+    message: Any
+    size_bytes: int
+    sent_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    bytes_sent: int = 0
+    per_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, type_name: str, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.per_type[type_name] = self.per_type.get(type_name, 0) + 1
+
+
+class Network:
+    """Unreliable point-to-point and multicast message transport."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        conditions: Optional[NetworkConditions] = None,
+        rng: Optional[SimRandom] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.conditions = conditions or NetworkConditions()
+        self.rng = rng or SimRandom(0)
+        self.stats = NetworkStats()
+        self._endpoints: set[str] = set()
+
+    # -------------------------------------------------------------- endpoints
+    def register(self, name: str) -> None:
+        self._endpoints.add(name)
+
+    def endpoints(self) -> frozenset[str]:
+        return frozenset(self._endpoints)
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        source: str,
+        destination: str,
+        message: Any,
+        size_bytes: int,
+        not_before: Optional[float] = None,
+    ) -> None:
+        """Send ``message`` from ``source`` to ``destination``.
+
+        ``not_before`` lets the caller model CPU occupancy at the sender:
+        the message enters the wire no earlier than that time.
+        """
+        if destination not in self._endpoints:
+            # Unknown destinations are silently dropped, like UDP.
+            self.stats.messages_dropped += 1
+            return
+        now = self.scheduler.clock.now
+        depart = max(now, not_before) if not_before is not None else now
+        type_name = type(message).__name__
+        self.stats.record(type_name, size_bytes)
+
+        if self.conditions.is_partitioned(source, destination):
+            self.stats.messages_dropped += 1
+            return
+        if self.rng.chance(self.conditions.drop_probability):
+            self.stats.messages_dropped += 1
+            return
+
+        copies = 1
+        if self.rng.chance(self.conditions.duplicate_probability):
+            copies += self.conditions.duplicate_copies
+            self.stats.messages_duplicated += copies - 1
+
+        for _ in range(copies):
+            transit = self.conditions.transit_time(size_bytes, self.rng)
+            envelope = Envelope(
+                source=source,
+                destination=destination,
+                message=message,
+                size_bytes=size_bytes,
+                sent_at=depart,
+            )
+            self.scheduler.schedule_at(
+                depart + transit, EventKind.DELIVER, destination, payload=envelope
+            )
+
+    def multicast(
+        self,
+        source: str,
+        destinations: Iterable[str],
+        message: Any,
+        size_bytes: int,
+        not_before: Optional[float] = None,
+    ) -> None:
+        """Multicast to every destination (IP-multicast style: one wire send).
+
+        Each receiver still gets an independent loss/duplication draw, which
+        matches UDP-over-IP-multicast behaviour on a switched LAN.
+        """
+        for destination in destinations:
+            if destination == source:
+                continue
+            self.send(source, destination, message, size_bytes, not_before)

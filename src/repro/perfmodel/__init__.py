@@ -1,0 +1,28 @@
+"""Analytic performance model (Chapter 7).
+
+The model predicts latency and throughput of the BFT protocol from a small
+set of measured parameters: the cost of computing digests and MACs, the
+cost of generating and verifying signatures (for BFT-PK), and a linear
+communication cost model.  :mod:`repro.perfmodel.params` holds the
+calibrated parameters (Section 8.2); :mod:`repro.perfmodel.latency` and
+:mod:`repro.perfmodel.throughput` implement the latency and throughput
+equations of Sections 7.3 and 7.4.
+"""
+
+from repro.perfmodel.params import (
+    CryptoCosts,
+    CommunicationCosts,
+    ModelParameters,
+    PAPER_PARAMETERS,
+)
+from repro.perfmodel.latency import LatencyModel
+from repro.perfmodel.throughput import ThroughputModel
+
+__all__ = [
+    "CryptoCosts",
+    "CommunicationCosts",
+    "ModelParameters",
+    "PAPER_PARAMETERS",
+    "LatencyModel",
+    "ThroughputModel",
+]

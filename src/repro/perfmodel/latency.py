@@ -1,0 +1,226 @@
+"""Analytic latency model (Section 7.3).
+
+The model predicts the latency of an operation with argument size ``a`` and
+result size ``r`` by summing, along the critical path, the CPU time spent
+computing digests, MACs (or signatures) and protocol-stack traversals, plus
+the wire time of each message.  Read-only operations take a single round
+trip (Section 7.3.1); read-write operations take the request / pre-prepare /
+prepare / reply path when tentative execution is enabled (Section 7.3.2),
+and an extra commit phase when it is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AuthMode
+from repro.core.messages import (
+    COMMIT_HEADER_SIZE,
+    PREPARE_HEADER_SIZE,
+    PRE_PREPARE_HEADER_SIZE,
+    REPLY_HEADER_SIZE,
+    REQUEST_HEADER_SIZE,
+)
+from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
+
+
+@dataclass
+class LatencyModel:
+    """Predicts operation latency for a given replica-group size."""
+
+    n: int
+    params: ModelParameters = PAPER_PARAMETERS
+    auth_mode: AuthMode = AuthMode.MAC
+    tentative_execution: bool = True
+    digest_replies: bool = True
+    digest_replies_threshold: int = 32
+    separate_request_transmission: bool = True
+    separate_request_threshold: int = 255
+
+    # ------------------------------------------------------------ primitives
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    def _auth_generate(self, receivers: int) -> float:
+        crypto = self.params.crypto
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return crypto.signature_sign
+        return crypto.mac * receivers
+
+    def _auth_verify(self) -> float:
+        crypto = self.params.crypto
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return crypto.signature_verify
+        return crypto.mac
+
+    def _message_sizes(self, arg_size: int, result_size: int) -> dict:
+        auth_overhead = (
+            128 if self.auth_mode is AuthMode.SIGNATURE else 8 * self.n
+        )
+        request = REQUEST_HEADER_SIZE + arg_size + auth_overhead
+        if self._request_travels_separately(arg_size):
+            # Only the request digest rides in the pre-prepare (Section 5.1.5).
+            pre_prepare = PRE_PREPARE_HEADER_SIZE + 16 + auth_overhead
+        else:
+            pre_prepare = PRE_PREPARE_HEADER_SIZE + request + auth_overhead
+        prepare = PREPARE_HEADER_SIZE + auth_overhead
+        commit = COMMIT_HEADER_SIZE + auth_overhead
+        full_reply = REPLY_HEADER_SIZE + result_size + 16
+        digest_reply = REPLY_HEADER_SIZE + 16
+        return {
+            "request": request,
+            "pre_prepare": pre_prepare,
+            "prepare": prepare,
+            "commit": commit,
+            "full_reply": full_reply,
+            "digest_reply": digest_reply,
+        }
+
+    def _request_travels_separately(self, arg_size: int) -> bool:
+        return (
+            self.separate_request_transmission
+            and arg_size > self.separate_request_threshold
+        )
+
+    def _reply_auth_cost(self) -> float:
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return self.params.crypto.signature_sign
+        return self.params.crypto.mac
+
+    def _reply_verify_cost(self) -> float:
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return self.params.crypto.signature_verify
+        return self.params.crypto.mac
+
+    # --------------------------------------------------------------- requests
+    def read_write_latency(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Predicted latency, in microseconds, of a read-write operation."""
+        crypto = self.params.crypto
+        comm = self.params.communication
+        sizes = self._message_sizes(arg_size, result_size)
+        n_backups = self.n - 1
+
+        # Client builds and sends the request (to the primary, or to every
+        # replica when the request travels separately from the pre-prepare).
+        request_copies = self.n if self._request_travels_separately(arg_size) else 1
+        latency = crypto.digest_cost(sizes["request"]) + self._auth_generate(self.n)
+        latency += comm.send_cpu(sizes["request"]) * request_copies
+        latency += comm.transit_time(sizes["request"])
+
+        # Primary receives, authenticates, builds the pre-prepare and sends
+        # it to every backup (the last copy leaves after n-1 send costs).
+        latency += comm.receive_cpu(sizes["request"])
+        latency += crypto.digest_cost(sizes["request"]) + self._auth_verify()
+        latency += crypto.digest_cost(sizes["pre_prepare"]) + self._auth_generate(
+            n_backups
+        )
+        latency += comm.send_cpu(sizes["pre_prepare"]) * n_backups
+        latency += comm.transit_time(sizes["pre_prepare"])
+        if self._request_travels_separately(arg_size):
+            # The backup also receives and authenticates the request itself.
+            latency += comm.receive_cpu(sizes["request"])
+            latency += crypto.digest_cost(sizes["request"]) + self._auth_verify()
+
+        # Backup receives and verifies the pre-prepare, then builds and
+        # multicasts its prepare.
+        latency += comm.receive_cpu(sizes["pre_prepare"])
+        latency += crypto.digest_cost(sizes["pre_prepare"]) + self._auth_verify()
+        latency += crypto.digest_cost(sizes["prepare"]) + self._auth_generate(
+            n_backups
+        )
+        latency += comm.send_cpu(sizes["prepare"]) * n_backups
+        latency += comm.transit_time(sizes["prepare"])
+
+        # The executing replica collects 2f matching prepares before it can
+        # execute; each costs a receive plus verification.
+        prepares_needed = 2 * self.f
+        latency += prepares_needed * (
+            comm.receive_cpu(sizes["prepare"])
+            + crypto.digest_cost(sizes["prepare"])
+            + self._auth_verify()
+        )
+
+        # The replica generates its commit as soon as it is prepared; with
+        # tentative execution the commit's transit is off the critical path
+        # but its generation still precedes the reply.
+        latency += crypto.digest_cost(sizes["commit"]) + self._auth_generate(n_backups)
+        latency += comm.send_cpu(sizes["commit"]) * n_backups
+        if not self.tentative_execution:
+            # Commit phase fully on the critical path: wait for 2f+1 commits.
+            latency += comm.transit_time(sizes["commit"])
+            latency += (2 * self.f) * (
+                comm.receive_cpu(sizes["commit"])
+                + crypto.digest_cost(sizes["commit"])
+                + self._auth_verify()
+            )
+
+        # Execute and reply.
+        latency += self.params.execution_cost(arg_size, result_size)
+        reply_size = sizes["full_reply"]
+        latency += crypto.digest_cost(result_size) + self._reply_auth_cost()
+        latency += comm.send_cpu(reply_size)
+        latency += comm.transit_time(reply_size)
+
+        # Client collects the reply certificate: 2f+1 replies with tentative
+        # execution, f+1 otherwise.  With digest replies all but one are
+        # small.
+        replies_needed = 2 * self.f + 1 if self.tentative_execution else self.f + 1
+        small_reply = (
+            sizes["digest_reply"]
+            if self.digest_replies and result_size >= self.digest_replies_threshold
+            else sizes["full_reply"]
+        )
+        latency += comm.receive_cpu(reply_size)
+        latency += (replies_needed - 1) * (
+            comm.receive_cpu(small_reply) + self._reply_verify_cost()
+        )
+        latency += crypto.digest_cost(result_size)
+        return latency
+
+    def read_only_latency(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Predicted latency of a read-only operation (one round trip)."""
+        crypto = self.params.crypto
+        comm = self.params.communication
+        sizes = self._message_sizes(arg_size, result_size)
+
+        latency = crypto.digest_cost(sizes["request"]) + self._auth_generate(self.n)
+        latency += comm.send_cpu(sizes["request"]) * self.n
+        latency += comm.transit_time(sizes["request"])
+
+        # Each replica verifies, executes and replies.
+        latency += comm.receive_cpu(sizes["request"])
+        latency += crypto.digest_cost(sizes["request"]) + self._auth_verify()
+        latency += self.params.execution_cost(arg_size, result_size)
+        reply_size = sizes["full_reply"]
+        latency += crypto.digest_cost(result_size) + self._reply_auth_cost()
+        latency += comm.send_cpu(reply_size)
+        latency += comm.transit_time(reply_size)
+
+        replies_needed = 2 * self.f + 1
+        small_reply = (
+            sizes["digest_reply"]
+            if self.digest_replies and result_size >= self.digest_replies_threshold
+            else sizes["full_reply"]
+        )
+        latency += comm.receive_cpu(reply_size)
+        latency += (replies_needed - 1) * (
+            comm.receive_cpu(small_reply) + self._reply_verify_cost()
+        )
+        latency += crypto.digest_cost(result_size)
+        return latency
+
+    def unreplicated_latency(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Latency of the unreplicated client/server baseline."""
+        crypto = self.params.crypto
+        comm = self.params.communication
+        request = REQUEST_HEADER_SIZE + arg_size + 16
+        reply = REPLY_HEADER_SIZE + result_size + 16
+        latency = crypto.digest_cost(request) + crypto.mac
+        latency += comm.send_cpu(request) + comm.transit_time(request)
+        latency += comm.receive_cpu(request) + crypto.mac
+        latency += self.params.execution_cost(arg_size, result_size)
+        latency += crypto.digest_cost(result_size) + crypto.mac
+        latency += comm.send_cpu(reply) + comm.transit_time(reply)
+        latency += comm.receive_cpu(reply) + crypto.mac
+        return latency

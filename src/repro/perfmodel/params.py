@@ -1,0 +1,111 @@
+"""Calibrated model parameters (Sections 7.1 and 8.2).
+
+The paper measures, on 600 MHz Pentium III machines connected by a switched
+100 Mb/s Ethernet:
+
+* digest computation — a fixed cost plus a per-byte cost (MD5),
+* MAC computation — effectively constant, because MACs cover only the
+  fixed-size message header (Section 6.1),
+* signature generation and verification (Rabin-Williams, 1024-bit modulus)
+  — three orders of magnitude more expensive than a MAC, and
+* communication — a per-message fixed cost (protocol-stack traversal at
+  sender and receiver) plus a per-byte wire cost.
+
+The absolute values below are representative of that hardware class; the
+benchmarks depend on their *ratios* (signature/MAC gap, wire/CPU balance),
+which is what gives the reproduced tables the paper's shape.  All times are
+in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.net.conditions import NetworkConditions
+
+
+@dataclass(frozen=True)
+class CryptoCosts:
+    """CPU cost of each cryptographic primitive, in microseconds."""
+
+    #: Fixed cost of a digest computation.
+    digest_fixed: float = 1.0
+    #: Per-byte cost of a digest computation (MD5 throughput class).
+    digest_per_byte: float = 0.012
+    #: Cost of computing or verifying one MAC over a fixed-size header.
+    mac: float = 1.5
+    #: Cost of generating a signature (Rabin-Williams 1024-bit).
+    signature_sign: float = 11_300.0
+    #: Cost of verifying a signature.
+    signature_verify: float = 590.0
+
+    def digest_cost(self, size_bytes: int) -> float:
+        return self.digest_fixed + self.digest_per_byte * max(0, size_bytes)
+
+    def authenticator_generate(self, n_replicas: int) -> float:
+        """Generating an authenticator computes one MAC per other replica."""
+        return self.mac * max(0, n_replicas - 1)
+
+    def authenticator_verify(self) -> float:
+        """Verifying an authenticator checks a single MAC entry."""
+        return self.mac
+
+
+@dataclass(frozen=True)
+class CommunicationCosts:
+    """Linear communication cost model (Section 7.1.3).
+
+    The time for a message of ``b`` bytes to go from one node to another is
+    ``send_fixed + receive_fixed + per_byte * b``; the sender's CPU is busy
+    for ``send_fixed + per_byte_cpu_send * b`` and the receiver's for
+    ``receive_fixed + per_byte_cpu_receive * b``.
+    """
+
+    send_fixed: float = 15.0
+    receive_fixed: float = 25.0
+    per_byte_wire: float = 0.08
+    per_byte_cpu_send: float = 0.012
+    per_byte_cpu_receive: float = 0.012
+
+    def transit_time(self, size_bytes: int) -> float:
+        return self.send_fixed + self.receive_fixed + self.per_byte_wire * size_bytes
+
+    def send_cpu(self, size_bytes: int) -> float:
+        return self.send_fixed + self.per_byte_cpu_send * size_bytes
+
+    def receive_cpu(self, size_bytes: int) -> float:
+        return self.receive_fixed + self.per_byte_cpu_receive * size_bytes
+
+    def network_conditions(self) -> NetworkConditions:
+        """The equivalent :class:`NetworkConditions` for the simulator."""
+        return NetworkConditions(
+            fixed_delay=self.send_fixed + self.receive_fixed,
+            per_byte_delay=self.per_byte_wire,
+        )
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Everything the analytic model and the simulator cost accounting need."""
+
+    crypto: CryptoCosts = field(default_factory=CryptoCosts)
+    communication: CommunicationCosts = field(default_factory=CommunicationCosts)
+    #: Cost of executing a null operation at the service, per request.
+    execution_fixed: float = 2.0
+    #: Per-byte cost of copying operation arguments/results at the service.
+    execution_per_byte: float = 0.005
+
+    def execution_cost(self, arg_bytes: int, result_bytes: int) -> float:
+        return self.execution_fixed + self.execution_per_byte * (
+            arg_bytes + result_bytes
+        )
+
+    def with_crypto(self, **changes) -> "ModelParameters":
+        return replace(self, crypto=replace(self.crypto, **changes))
+
+    def with_communication(self, **changes) -> "ModelParameters":
+        return replace(self, communication=replace(self.communication, **changes))
+
+
+#: The default calibration used by every benchmark unless overridden.
+PAPER_PARAMETERS = ModelParameters()

@@ -1,0 +1,150 @@
+"""Analytic throughput model (Section 7.4).
+
+Under load the bottleneck is the primary's CPU for read-write operations
+(it authenticates every request, produces pre-prepares, and processes
+prepare/commit traffic) and each replica's CPU for read-only operations
+(every replica executes every read-only request).  Batching amortises the
+per-batch protocol cost over the requests in the batch, which is what makes
+read-write throughput scale with offered load (Section 8.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AuthMode
+from repro.core.messages import (
+    COMMIT_HEADER_SIZE,
+    PREPARE_HEADER_SIZE,
+    PRE_PREPARE_HEADER_SIZE,
+    REPLY_HEADER_SIZE,
+    REQUEST_HEADER_SIZE,
+)
+from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
+
+
+@dataclass
+class ThroughputModel:
+    """Predicts sustained operations per second."""
+
+    n: int
+    params: ModelParameters = PAPER_PARAMETERS
+    auth_mode: AuthMode = AuthMode.MAC
+    batch_size: int = 16
+    digest_replies: bool = True
+    digest_replies_threshold: int = 32
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    def _auth_generate(self, receivers: int) -> float:
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return self.params.crypto.signature_sign
+        return self.params.crypto.mac * receivers
+
+    def _auth_verify(self) -> float:
+        if self.auth_mode is AuthMode.SIGNATURE:
+            return self.params.crypto.signature_verify
+        return self.params.crypto.mac
+
+    # ----------------------------------------------------------------- cycles
+    def primary_cpu_per_batch(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Microseconds of primary CPU consumed per batch of read-write ops."""
+        crypto = self.params.crypto
+        comm = self.params.communication
+        b = max(1, self.batch_size)
+        n_backups = self.n - 1
+        auth_overhead = 128 if self.auth_mode is AuthMode.SIGNATURE else 8 * self.n
+        request_size = REQUEST_HEADER_SIZE + arg_size + auth_overhead
+        pre_prepare_size = PRE_PREPARE_HEADER_SIZE + b * request_size + auth_overhead
+        prepare_size = PREPARE_HEADER_SIZE + auth_overhead
+        commit_size = COMMIT_HEADER_SIZE + auth_overhead
+        reply_size = REPLY_HEADER_SIZE + result_size + 16
+        digest_reply_size = REPLY_HEADER_SIZE + 16
+
+        cpu = 0.0
+        # Receive and authenticate each request in the batch.
+        cpu += b * (
+            comm.receive_cpu(request_size)
+            + crypto.digest_cost(request_size)
+            + self._auth_verify()
+        )
+        # Build and multicast the pre-prepare.
+        cpu += crypto.digest_cost(pre_prepare_size) + self._auth_generate(n_backups)
+        cpu += n_backups * comm.send_cpu(pre_prepare_size)
+        # Receive 2f prepares, send a commit, receive 2f commits.
+        cpu += 2 * self.f * (
+            comm.receive_cpu(prepare_size)
+            + crypto.digest_cost(prepare_size)
+            + self._auth_verify()
+        )
+        cpu += crypto.digest_cost(commit_size) + self._auth_generate(n_backups)
+        cpu += n_backups * comm.send_cpu(commit_size)
+        cpu += 2 * self.f * (
+            comm.receive_cpu(commit_size)
+            + crypto.digest_cost(commit_size)
+            + self._auth_verify()
+        )
+        # Execute every request and send its reply.
+        send_reply = (
+            digest_reply_size
+            if self.digest_replies and result_size >= self.digest_replies_threshold
+            else reply_size
+        )
+        cpu += b * (
+            self.params.execution_cost(arg_size, result_size)
+            + crypto.digest_cost(result_size)
+            + crypto.mac
+            + comm.send_cpu(send_reply)
+        )
+        return cpu
+
+    def read_write_throughput(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Sustained read-write operations per second."""
+        cpu_per_batch = self.primary_cpu_per_batch(arg_size, result_size)
+        ops_per_micro = self.batch_size / cpu_per_batch
+        return ops_per_micro * 1_000_000.0
+
+    def read_only_throughput(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Sustained read-only operations per second.
+
+        Every replica executes every read-only request, but only a designated
+        replier returns the full result; the bound is each replica's CPU.
+        """
+        crypto = self.params.crypto
+        comm = self.params.communication
+        auth_overhead = 128 if self.auth_mode is AuthMode.SIGNATURE else 8 * self.n
+        request_size = REQUEST_HEADER_SIZE + arg_size + auth_overhead
+        reply_size = REPLY_HEADER_SIZE + result_size + 16
+        digest_reply_size = REPLY_HEADER_SIZE + 16
+        send_reply = (
+            digest_reply_size
+            if self.digest_replies and result_size >= self.digest_replies_threshold
+            else reply_size
+        )
+        cpu = (
+            comm.receive_cpu(request_size)
+            + crypto.digest_cost(request_size)
+            + self._auth_verify()
+            + self.params.execution_cost(arg_size, result_size)
+            + crypto.digest_cost(result_size)
+            + crypto.mac
+            + comm.send_cpu(send_reply)
+        )
+        return 1_000_000.0 / cpu
+
+    def unreplicated_throughput(self, arg_size: int = 0, result_size: int = 0) -> float:
+        """Throughput of the unreplicated server baseline."""
+        crypto = self.params.crypto
+        comm = self.params.communication
+        request_size = REQUEST_HEADER_SIZE + arg_size + 16
+        reply_size = REPLY_HEADER_SIZE + result_size + 16
+        cpu = (
+            comm.receive_cpu(request_size)
+            + crypto.mac
+            + self.params.execution_cost(arg_size, result_size)
+            + crypto.mac
+            + comm.send_cpu(reply_size)
+        )
+        return 1_000_000.0 / cpu

@@ -1,0 +1,38 @@
+"""Simulated secure co-processor (Section 4.2).
+
+The paper assumes each replica has a secure cryptographic co-processor
+(e.g. a Dallas Semiconductor iButton) that stores the replica's private
+key, signs messages without exposing it, and provides a monotonic counter
+so signed messages cannot be replayed (suppress-replay attacks).  The
+simulation needs only those observable properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.signatures import KeyPair, Signature, SignatureRegistry
+
+
+@dataclass
+class SecureCoprocessor:
+    """Holds a replica's signing key and a counter that never goes backwards."""
+
+    owner: str
+    registry: SignatureRegistry
+    keypair: KeyPair = field(init=False)
+    counter: int = 0
+
+    def __post_init__(self) -> None:
+        self.keypair = self.registry.generate(f"{self.owner}:coprocessor")
+
+    def sign_with_counter(self, data: bytes) -> tuple[Signature, int]:
+        """Sign ``data`` with the counter appended; the counter increments on
+        every signature, which is what defeats replay of old new-key or
+        recovery-request messages."""
+        self.counter += 1
+        signature = self.keypair.sign(data + str(self.counter).encode())
+        return signature, self.counter
+
+    def verify(self, data: bytes, signature: Signature, counter: int) -> bool:
+        return self.registry.verify(data + str(counter).encode(), signature)

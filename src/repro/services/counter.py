@@ -1,0 +1,75 @@
+"""A counter service with access control and an invariant.
+
+The counter never goes below zero — an invariant that operations enforce
+internally, illustrating how a BFT-replicated service with complex
+operations defends against Byzantine-faulty clients (Section 2.2):
+a faulty client cannot break the invariant because it can only interact
+through the operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.messages import pack
+from repro.services.interface import ExecutionResult, Service, bytes_digest
+
+
+class CounterService(Service):
+    """A single non-negative counter with ``INC``, ``DEC``, ``READ`` ops."""
+
+    def __init__(self, allowed_clients: Optional[Set[str]] = None) -> None:
+        self.value = 0
+        self._allowed = allowed_clients
+
+    def execute(
+        self,
+        operation: bytes,
+        client: str,
+        nondet: bytes = b"",
+        read_only: bool = False,
+    ) -> ExecutionResult:
+        parts = operation.split(b" ")
+        verb = parts[0].upper() if parts else b""
+        if verb == b"READ":
+            return ExecutionResult(result=str(self.value).encode(), was_read_only=True)
+        if read_only:
+            return ExecutionResult(result=b"ERR not-read-only", was_read_only=True)
+        if self._allowed is not None and client not in self._allowed:
+            return ExecutionResult(result=b"ERR access-denied")
+        amount = 1
+        if len(parts) > 1:
+            try:
+                amount = int(parts[1])
+            except ValueError:
+                return ExecutionResult(result=b"ERR bad-amount")
+        if amount < 0:
+            return ExecutionResult(result=b"ERR negative-amount")
+        if verb == b"INC":
+            self.value += amount
+            return ExecutionResult(result=str(self.value).encode())
+        if verb == b"DEC":
+            # Invariant: the counter never goes below zero.
+            if self.value - amount < 0:
+                return ExecutionResult(result=b"ERR underflow")
+            self.value -= amount
+            return ExecutionResult(result=str(self.value).encode())
+        return ExecutionResult(result=b"ERR bad-operation")
+
+    def is_read_only(self, operation: bytes) -> bool:
+        return operation.split(b" ", 1)[0].upper() == b"READ"
+
+    def snapshot(self) -> object:
+        return self.value
+
+    def restore(self, snapshot: object) -> None:
+        self.value = int(snapshot)  # type: ignore[arg-type]
+
+    def state_digest(self) -> bytes:
+        return bytes_digest(pack(self.value))
+
+    def pages(self) -> dict[int, bytes]:
+        return {0: str(self.value).encode()}
+
+    def corrupt(self) -> None:
+        self.value = -999

@@ -1,0 +1,97 @@
+"""The service interface (the ``execute`` upcall of Section 6.2).
+
+A service implements:
+
+* ``execute(operation, client, nondet, read_only)`` — run one operation and
+  return its result, mirroring the library's ``execute`` upcall;
+* ``propose_nondet(operation, now)`` — the primary-side hook that chooses
+  non-deterministic values for a batch (Section 5.4);
+* ``check_nondet(...)`` — the backup-side validity check for those values;
+* ``snapshot``/``restore`` — full-state snapshots used for checkpoints,
+  tentative-execution rollback, and state transfer;
+* ``state_digest`` — a digest of the current state (checkpoint messages);
+* ``pages`` — the state as fixed-size pages for the hierarchical state
+  transfer mechanism of Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.digests import digest
+
+
+@dataclass
+class ExecutionResult:
+    """Result of executing one operation."""
+
+    result: bytes
+    #: True when the operation did not modify the service state; used by the
+    #: read-only check of Section 5.1.3.
+    was_read_only: bool = False
+
+
+class Service:
+    """Base class for deterministic replicated services."""
+
+    #: Page size used when exposing state to the state-transfer machinery.
+    page_size: int = 4096
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        operation: bytes,
+        client: str,
+        nondet: bytes = b"",
+        read_only: bool = False,
+    ) -> ExecutionResult:
+        raise NotImplementedError
+
+    def is_read_only(self, operation: bytes) -> bool:
+        """Service-specific check that an operation really is read-only.
+
+        A faulty client could mark a mutating request read-only; replicas
+        call this before executing it via the read-only path.
+        """
+        return False
+
+    # -------------------------------------------------------- non-determinism
+    def propose_nondet(self, now: float) -> bytes:
+        """Primary hook: propose non-deterministic values for a batch."""
+        return b""
+
+    def check_nondet(self, nondet: bytes, now: float) -> bool:
+        """Backup hook: decide deterministically whether the primary's
+        proposed value is acceptable."""
+        return True
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> object:
+        raise NotImplementedError
+
+    def restore(self, snapshot: object) -> None:
+        raise NotImplementedError
+
+    def state_digest(self) -> bytes:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ pages
+    def pages(self) -> Dict[int, bytes]:
+        """The service state as a sparse mapping page-index -> page bytes."""
+        return {}
+
+    def load_pages(self, pages: Dict[int, bytes]) -> None:
+        """Install pages fetched by state transfer (optional)."""
+
+    # ------------------------------------------------------------- corruption
+    def corrupt(self) -> None:
+        """Deliberately corrupt the state (fault injection for recovery tests)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support corruption injection"
+        )
+
+
+def bytes_digest(data: bytes) -> bytes:
+    """Helper for services whose state digest is the digest of an encoding."""
+    return digest(data)

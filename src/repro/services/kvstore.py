@@ -1,0 +1,113 @@
+"""A replicated key-value store.
+
+Operations are encoded as simple byte strings:
+
+* ``GET <key>`` — read a value (read-only),
+* ``SET <key> <value>`` — write a value,
+* ``DEL <key>`` — delete a key,
+* ``CAS <key> <expected> <new>`` — compare-and-swap,
+* ``KEYS`` — list keys (read-only).
+
+The store demonstrates the paper's point about complex operations
+(Section 2.2): invariants can be enforced inside operations (CAS) rather
+than trusted to clients, which defends against Byzantine-faulty clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.messages import pack
+from repro.services.interface import ExecutionResult, Service, bytes_digest
+
+
+class KeyValueStore(Service):
+    """An in-memory key-value store with optional per-client access control."""
+
+    def __init__(self, writers: Optional[Set[str]] = None) -> None:
+        self._data: Dict[bytes, bytes] = {}
+        #: Clients allowed to mutate state; ``None`` means everyone.
+        self._writers = writers
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        operation: bytes,
+        client: str,
+        nondet: bytes = b"",
+        read_only: bool = False,
+    ) -> ExecutionResult:
+        parts = operation.split(b" ")
+        verb = parts[0].upper() if parts else b""
+        if verb == b"GET":
+            value = self._data.get(parts[1], b"") if len(parts) > 1 else b""
+            return ExecutionResult(result=value, was_read_only=True)
+        if verb == b"KEYS":
+            keys = b",".join(sorted(self._data))
+            return ExecutionResult(result=keys, was_read_only=True)
+        if read_only:
+            # A mutating operation routed through the read-only path is
+            # rejected without touching state.
+            return ExecutionResult(result=b"ERR not-read-only", was_read_only=True)
+        if not self._may_write(client):
+            return ExecutionResult(result=b"ERR access-denied")
+        if verb == b"SET" and len(parts) >= 3:
+            self._data[parts[1]] = b" ".join(parts[2:])
+            return ExecutionResult(result=b"OK")
+        if verb == b"DEL" and len(parts) >= 2:
+            existed = parts[1] in self._data
+            self._data.pop(parts[1], None)
+            return ExecutionResult(result=b"OK" if existed else b"MISSING")
+        if verb == b"CAS" and len(parts) >= 4:
+            current = self._data.get(parts[1])
+            if current == parts[2] or (current is None and parts[2] == b"-"):
+                self._data[parts[1]] = parts[3]
+                return ExecutionResult(result=b"OK")
+            return ExecutionResult(result=b"FAIL " + (current or b"-"))
+        return ExecutionResult(result=b"ERR bad-operation")
+
+    def is_read_only(self, operation: bytes) -> bool:
+        verb = operation.split(b" ", 1)[0].upper()
+        return verb in (b"GET", b"KEYS")
+
+    def _may_write(self, client: str) -> bool:
+        return self._writers is None or client in self._writers
+
+    # ------------------------------------------------------------- inspection
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def size(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> object:
+        return dict(self._data)
+
+    def restore(self, snapshot: object) -> None:
+        self._data = dict(snapshot)  # type: ignore[arg-type]
+
+    def state_digest(self) -> bytes:
+        encoded = pack(tuple(sorted(self._data.items())))
+        return bytes_digest(encoded)
+
+    # ------------------------------------------------------------------ pages
+    def pages(self) -> Dict[int, bytes]:
+        """Pack key/value pairs into fixed-size pages, in key order."""
+        pages: Dict[int, bytes] = {}
+        buffer = bytearray()
+        index = 0
+        for key in sorted(self._data):
+            record = pack(key, self._data[key])
+            buffer.extend(record)
+            while len(buffer) >= self.page_size:
+                pages[index] = bytes(buffer[: self.page_size])
+                del buffer[: self.page_size]
+                index += 1
+        if buffer:
+            pages[index] = bytes(buffer)
+        return pages
+
+    # ------------------------------------------------------------ corruption
+    def corrupt(self) -> None:
+        self._data[b"__corrupted__"] = b"garbage"

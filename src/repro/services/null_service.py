@@ -1,0 +1,67 @@
+"""The null service used by the micro-benchmarks (Section 8.3).
+
+Operations carry an argument of a configurable size and return a result of
+a configurable size; execution is a no-op apart from a counter.  The
+``a/b`` operations in the paper (0/0, 0/4, 4/0) map to argument/result
+sizes in kilobytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.messages import pack
+from repro.services.interface import ExecutionResult, Service, bytes_digest
+
+
+def encode_null_op(result_size: int, arg_size: int, read_only: bool = False) -> bytes:
+    """Encode a null-service operation requesting ``result_size`` bytes back
+    and carrying ``arg_size`` bytes of argument padding."""
+    header = f"null:{result_size}:{int(read_only)}:".encode()
+    return header + b"x" * arg_size
+
+
+class NullService(Service):
+    """A service whose operations do nothing but move bytes."""
+
+    def __init__(self) -> None:
+        self.operations_executed = 0
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        operation: bytes,
+        client: str,
+        nondet: bytes = b"",
+        read_only: bool = False,
+    ) -> ExecutionResult:
+        result_size = self._result_size(operation)
+        if not read_only:
+            self.operations_executed += 1
+        return ExecutionResult(result=b"r" * result_size, was_read_only=read_only)
+
+    def is_read_only(self, operation: bytes) -> bool:
+        try:
+            return bool(int(operation.split(b":", 3)[2]))
+        except (IndexError, ValueError):
+            return False
+
+    @staticmethod
+    def _result_size(operation: bytes) -> int:
+        try:
+            return int(operation.split(b":", 3)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> object:
+        return self.operations_executed
+
+    def restore(self, snapshot: object) -> None:
+        self.operations_executed = int(snapshot)  # type: ignore[arg-type]
+
+    def state_digest(self) -> bytes:
+        return bytes_digest(pack(self.operations_executed))
+
+    def pages(self) -> Dict[int, bytes]:
+        return {0: str(self.operations_executed).encode()}

@@ -1,0 +1,64 @@
+"""Simulation events.
+
+An event is something that happens at a node at a point in simulated time:
+the delivery of a message, the expiration of a timer, or an internal action
+scheduled by the node itself (e.g. the start of a proactive recovery).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Classification of simulation events."""
+
+    DELIVER = "deliver"
+    TIMER = "timer"
+    INTERNAL = "internal"
+
+
+_event_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+    global insertion counter, so simultaneous events are dispatched in
+    insertion order and the simulation is deterministic.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    kind: EventKind = field(compare=False)
+    target: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    callback: Optional[Callable[[], None]] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def make(
+        cls,
+        time: float,
+        kind: EventKind,
+        target: str,
+        payload: Any = None,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> "Event":
+        return cls(
+            time=time,
+            sequence=next(_event_counter),
+            kind=kind,
+            target=target,
+            payload=payload,
+            callback=callback,
+        )
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; the scheduler will skip it."""
+        self.cancelled = True

@@ -1,0 +1,102 @@
+"""Byzantine fault injection.
+
+The paper assumes a strong adversary that can coordinate faulty nodes,
+delay correct nodes, and corrupt replica state.  The classes here describe
+the fault behaviours the test-suite and the benchmarks inject: crashes,
+mute primaries, equivocation (conflicting pre-prepares), state corruption,
+message tampering, and replay.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class FaultType(enum.Enum):
+    """Supported fault behaviours for a replica or client."""
+
+    CRASH = "crash"
+    #: Primary stops sending pre-prepares (triggers view changes).
+    MUTE_PRIMARY = "mute-primary"
+    #: Primary assigns the same sequence number to different requests for
+    #: different backups (equivocation).
+    EQUIVOCATE = "equivocate"
+    #: Replica sends corrupted replies (wrong result digest).
+    CORRUPT_REPLY = "corrupt-reply"
+    #: Replica's service state is silently corrupted (detected by state
+    #: checking during recovery).
+    CORRUPT_STATE = "corrupt-state"
+    #: Replica drops a fraction of protocol messages it should send.
+    DROP_MESSAGES = "drop-messages"
+    #: Replica delays all outgoing messages by a constant amount.
+    DELAY_MESSAGES = "delay-messages"
+    #: Faulty client: sends requests with corrupt authenticators.
+    BAD_AUTHENTICATOR = "bad-authenticator"
+    #: Replica replays old messages it has previously sent.
+    REPLAY = "replay"
+
+
+@dataclass
+class FaultSpec:
+    """A single fault to inject.
+
+    ``start`` and ``end`` bound the fault in simulated time; ``end`` of
+    ``None`` means the fault persists for the rest of the run.
+    """
+
+    node: str
+    fault: FaultType
+    start: float = 0.0
+    end: Optional[float] = None
+    #: Probability used by probabilistic faults such as DROP_MESSAGES.
+    probability: float = 1.0
+    #: Extra delay in microseconds for DELAY_MESSAGES.
+    delay: float = 0.0
+
+    def active_at(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.end is not None and now > self.end:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Registry of fault specifications, queried by replicas and the network.
+
+    Replica and network code consult the injector at the points where a
+    Byzantine node could deviate (sending a pre-prepare, replying to a
+    client, transmitting a message) and apply the configured behaviour.
+    """
+
+    def __init__(self, specs: Optional[Iterable[FaultSpec]] = None) -> None:
+        self._specs: Dict[str, List[FaultSpec]] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: FaultSpec) -> None:
+        self._specs.setdefault(spec.node, []).append(spec)
+
+    def faults_for(self, node: str, now: float) -> List[FaultSpec]:
+        return [s for s in self._specs.get(node, []) if s.active_at(now)]
+
+    def has_fault(self, node: str, fault: FaultType, now: float) -> bool:
+        return any(s.fault is fault for s in self.faults_for(node, now))
+
+    def get(self, node: str, fault: FaultType, now: float) -> Optional[FaultSpec]:
+        for spec in self.faults_for(node, now):
+            if spec.fault is fault:
+                return spec
+        return None
+
+    def faulty_nodes(self, now: float) -> List[str]:
+        """Names of all nodes with at least one active fault."""
+        return [node for node in self._specs if self.faults_for(node, now)]
+
+    def clear(self, node: Optional[str] = None) -> None:
+        if node is None:
+            self._specs.clear()
+        else:
+            self._specs.pop(node, None)

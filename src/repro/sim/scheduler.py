@@ -1,0 +1,147 @@
+"""The discrete-event scheduler.
+
+The scheduler owns the virtual clock and a priority queue of events.  It
+dispatches events in timestamp order to registered nodes until the queue is
+empty, a time limit is reached, or a stop condition becomes true.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventKind
+
+
+class Scheduler:
+    """Drives the simulation.
+
+    Nodes are registered under a unique name.  Anything in the system that
+    wants work done later (the network delivering a message, a node setting
+    a timer) schedules an :class:`Event`; the scheduler advances the clock
+    and hands each event to its target node's ``handle_event`` method, or to
+    the event's callback when one is attached.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self._queue: list[Event] = []
+        self._nodes: Dict[str, "NodeLike"] = {}
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------ nodes
+    def register(self, name: str, node: "NodeLike") -> None:
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already registered")
+        self._nodes[name] = node
+
+    def unregister(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    def node(self, name: str) -> "NodeLike":
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> Dict[str, "NodeLike"]:
+        return dict(self._nodes)
+
+    # ----------------------------------------------------------------- events
+    def schedule(self, event: Event) -> Event:
+        if event.time + 1e-9 < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, "
+                f"event time={event.time}"
+            )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        when: float,
+        kind: EventKind,
+        target: str,
+        payload=None,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        event = Event.make(when, kind, target, payload, callback)
+        return self.schedule(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        kind: EventKind,
+        target: str,
+        payload=None,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        return self.schedule_at(self.clock.now + delay, kind, target, payload, callback)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    # -------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Dispatch the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._dispatched += 1
+            if event.callback is not None:
+                event.callback()
+            else:
+                node = self._nodes.get(event.target)
+                if node is not None:
+                    node.handle_event(event)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run the simulation.
+
+        Stops when the event queue drains, when the clock would pass
+        ``until``, after ``max_events`` dispatches, or when ``stop_when``
+        returns True (checked between events).  Returns the number of events
+        dispatched by this call.
+        """
+        dispatched = 0
+        while self._queue:
+            if stop_when is not None and stop_when():
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            # Peek without popping to honour the time limit.
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self.clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            dispatched += 1
+        return dispatched
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+
+class NodeLike:
+    """Structural interface the scheduler expects of registered nodes."""
+
+    def handle_event(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

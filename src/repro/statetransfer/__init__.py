@@ -1,0 +1,14 @@
+"""Checkpoint management and state transfer (Section 5.3).
+
+:mod:`repro.statetransfer.partition_tree` implements the hierarchical
+state-partition tree with incremental (AdHash-style) digests and
+copy-on-write checkpoints used to compute checkpoint digests cheaply and to
+transfer only out-of-date partitions.  :mod:`repro.statetransfer.transfer`
+implements the replica-attached manager that brings a lagging or corrupted
+replica up to date.
+"""
+
+from repro.statetransfer.partition_tree import PartitionTree, TransferPlan
+from repro.statetransfer.transfer import StateTransferManager
+
+__all__ = ["PartitionTree", "TransferPlan", "StateTransferManager"]

@@ -1,0 +1,278 @@
+"""Hierarchical state partitions with incremental digests (Section 5.3.1).
+
+The service state is divided into fixed-size pages (the leaves); interior
+partitions group ``fanout`` children each.  Every partition stores the
+sequence number of the checkpoint at the end of the last checkpoint epoch
+in which it was modified and a digest; page digests hash the page contents
+together with the page index and last-modified number, and meta-data
+digests combine child digests with modular addition (AdHash), so a parent
+digest can be updated incrementally when one child changes.
+
+Checkpoints are logical copies implemented with copy-on-write: taking a
+checkpoint records only the pages modified since the previous one.
+
+This module is deliberately self-contained: the replica-level state
+transfer ships whole snapshots (see :mod:`repro.statetransfer.transfer`),
+while the partition tree is used by the checkpoint-cost and
+state-transfer benchmarks (experiments E7 and E8) to measure the real
+data-structure work the paper describes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Modulus used by the AdHash combination of child digests.
+_ADHASH_MODULUS = 2 ** 128 - 159
+
+
+def _page_digest(index: int, last_modified: int, value: bytes) -> int:
+    data = f"{index}:{last_modified}:".encode() + value
+    return int.from_bytes(hashlib.sha256(data).digest()[:16], "big")
+
+
+def _combine(child_digests: Iterable[int]) -> int:
+    total = 0
+    for child in child_digests:
+        total = (total + child) % _ADHASH_MODULUS
+    return total
+
+
+@dataclass
+class PageRecord:
+    """State of one page in the current (working) tree."""
+
+    index: int
+    last_modified: int
+    value: bytes
+    digest: int
+
+
+@dataclass
+class CheckpointCopy:
+    """A copy-on-write checkpoint: only pages modified since the previous
+    checkpoint are stored; unmodified pages are found in older copies."""
+
+    seq: int
+    root_digest: int
+    #: Pages captured by this checkpoint (page index -> record).
+    pages: Dict[int, PageRecord] = field(default_factory=dict)
+
+
+@dataclass
+class TransferPlan:
+    """What a state transfer would move: produced by :meth:`PartitionTree.plan_transfer`."""
+
+    out_of_date_pages: List[int]
+    pages_transferred: int
+    bytes_transferred: int
+    metadata_messages: int
+
+
+class PartitionTree:
+    """The hierarchical partition tree for one replica's service state."""
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        fanout: int = 256,
+        levels: int = 3,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if levels < 2:
+            raise ValueError("the tree needs at least a root and a leaf level")
+        self.page_size = page_size
+        self.fanout = fanout
+        self.levels = levels
+        self._pages: Dict[int, PageRecord] = {}
+        self._dirty: set[int] = set()
+        self._checkpoints: Dict[int, CheckpointCopy] = {}
+        self._last_checkpoint_seq = 0
+        self._root_digest = 0
+
+    # ------------------------------------------------------------------ pages
+    @property
+    def capacity_pages(self) -> int:
+        """Maximum number of pages addressable by the tree."""
+        return self.fanout ** (self.levels - 1)
+
+    def write_page(self, index: int, value: bytes) -> None:
+        if index < 0 or index >= self.capacity_pages:
+            raise IndexError(f"page index {index} out of range")
+        if len(value) > self.page_size:
+            raise ValueError("page value exceeds the page size")
+        record = self._pages.get(index)
+        if record is not None and record.value == value:
+            return
+        self._dirty.add(index)
+        if record is None:
+            self._pages[index] = PageRecord(
+                index=index, last_modified=-1, value=value, digest=0
+            )
+        else:
+            # Keep the old digest until the next checkpoint so the
+            # incremental root update can subtract it.
+            record.value = value
+
+    def read_page(self, index: int) -> Optional[bytes]:
+        record = self._pages.get(index)
+        return record.value if record is not None else None
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------ checkpoints
+    def take_checkpoint(self, seq: int) -> CheckpointCopy:
+        """Create the checkpoint for sequence number ``seq``.
+
+        Digests of unmodified pages are reused; only dirty pages are
+        re-hashed and copied, which is what makes checkpoint creation cheap
+        when the working set between checkpoints is small (Section 8.4.1).
+        """
+        if seq <= self._last_checkpoint_seq and self._checkpoints:
+            raise ValueError("checkpoint sequence numbers must increase")
+        modified: Dict[int, PageRecord] = {}
+        old_digest_sum = 0
+        new_digest_sum = 0
+        for index in sorted(self._dirty):
+            record = self._pages[index]
+            old_digest_sum = (old_digest_sum + record.digest) % _ADHASH_MODULUS
+            record.last_modified = seq
+            record.digest = _page_digest(index, seq, record.value)
+            new_digest_sum = (new_digest_sum + record.digest) % _ADHASH_MODULUS
+            modified[index] = PageRecord(
+                index=index,
+                last_modified=seq,
+                value=record.value,
+                digest=record.digest,
+            )
+        # Incremental root update: subtract old page digests, add new ones.
+        self._root_digest = (
+            self._root_digest - old_digest_sum + new_digest_sum
+        ) % _ADHASH_MODULUS
+        copy = CheckpointCopy(seq=seq, root_digest=self._root_digest, pages=modified)
+        self._checkpoints[seq] = copy
+        self._last_checkpoint_seq = seq
+        self._dirty.clear()
+        return copy
+
+    def discard_checkpoints_before(self, seq: int) -> None:
+        """Garbage-collect checkpoint copies older than ``seq``.
+
+        Pages captured only by discarded copies are folded into the oldest
+        surviving copy so page lookups keep working.
+        """
+        surviving = sorted(s for s in self._checkpoints if s >= seq)
+        discarded = sorted(s for s in self._checkpoints if s < seq)
+        if not discarded or not surviving:
+            for old in discarded:
+                del self._checkpoints[old]
+            return
+        target = self._checkpoints[surviving[0]]
+        for old in discarded:
+            for index, record in self._checkpoints[old].pages.items():
+                target.pages.setdefault(index, record)
+            del self._checkpoints[old]
+
+    def checkpoint_seqs(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._checkpoints))
+
+    def root_digest(self, seq: Optional[int] = None) -> int:
+        if seq is None:
+            return self._root_digest
+        return self._checkpoints[seq].root_digest
+
+    def page_at_checkpoint(self, index: int, seq: int) -> Optional[PageRecord]:
+        """The value of a page as of checkpoint ``seq`` (walking copies back
+        in time, copy-on-write style)."""
+        for checkpoint_seq in sorted(self._checkpoints, reverse=True):
+            if checkpoint_seq > seq:
+                continue
+            record = self._checkpoints[checkpoint_seq].pages.get(index)
+            if record is not None:
+                return record
+        # Never modified since tracking began: current value (if any, and if
+        # it was already checkpointed).
+        record = self._pages.get(index)
+        if record is not None and 0 <= record.last_modified <= seq:
+            return record
+        return None
+
+    # -------------------------------------------------------- partition meta
+    def metadata_at_checkpoint(self, seq: int) -> Dict[int, Tuple[int, int]]:
+        """Leaf-level metadata at a checkpoint: page index -> (last-modified,
+        digest).  This is what META-DATA replies carry during state
+        transfer."""
+        result: Dict[int, Tuple[int, int]] = {}
+        indexes = set(self._pages)
+        for copy in self._checkpoints.values():
+            indexes.update(copy.pages)
+        for index in indexes:
+            record = self.page_at_checkpoint(index, seq)
+            if record is not None:
+                result[index] = (record.last_modified, record.digest)
+        return result
+
+    # ---------------------------------------------------------- state transfer
+    def plan_transfer(self, source: "PartitionTree", seq: int) -> TransferPlan:
+        """Compute what must be fetched to bring *this* tree up to the state
+        ``source`` had at checkpoint ``seq``.
+
+        Mirrors the recursive fetch of Section 5.3.2: compare partition
+        digests level by level and fetch only pages that differ.  Returns
+        the work involved (pages and bytes moved, meta-data messages
+        exchanged) so benchmarks can report transfer costs.
+        """
+        source_meta = source.metadata_at_checkpoint(seq)
+        metadata_messages = 1  # the root/leaf-level metadata reply
+        out_of_date: List[int] = []
+        bytes_transferred = 0
+        for index, (last_modified, digest_value) in sorted(source_meta.items()):
+            mine = self._pages.get(index)
+            if mine is not None and mine.digest == digest_value:
+                continue
+            record = source.page_at_checkpoint(index, seq)
+            if record is None:
+                continue
+            out_of_date.append(index)
+            bytes_transferred += len(record.value)
+        return TransferPlan(
+            out_of_date_pages=out_of_date,
+            pages_transferred=len(out_of_date),
+            bytes_transferred=bytes_transferred,
+            metadata_messages=metadata_messages,
+        )
+
+    def apply_transfer(self, source: "PartitionTree", seq: int) -> TransferPlan:
+        """Fetch out-of-date pages from ``source`` (at checkpoint ``seq``) and
+        install them, then recompute the root digest."""
+        plan = self.plan_transfer(source, seq)
+        for index in plan.out_of_date_pages:
+            record = source.page_at_checkpoint(index, seq)
+            if record is None:
+                continue
+            self._pages[index] = PageRecord(
+                index=index,
+                last_modified=record.last_modified,
+                value=record.value,
+                digest=record.digest,
+            )
+            self._dirty.discard(index)
+        self._root_digest = _combine(r.digest for r in self._pages.values())
+        return plan
+
+    # -------------------------------------------------------------- integrity
+    def verify_against(self, other: "PartitionTree", seq: int) -> List[int]:
+        """Return the indexes of pages whose digests differ from ``other`` at
+        checkpoint ``seq`` — the state-checking pass a recovering replica
+        runs (Section 5.3.3)."""
+        other_meta = other.metadata_at_checkpoint(seq)
+        mismatches = []
+        for index, (last_modified, digest_value) in other_meta.items():
+            mine = self._pages.get(index)
+            if mine is None or mine.digest != digest_value:
+                mismatches.append(index)
+        return sorted(mismatches)

@@ -1,0 +1,135 @@
+"""Replica-attached state transfer (Section 5.3.2).
+
+Brings a lagging or corrupted replica up to the most recent stable
+checkpoint.  The manager learns the target checkpoint digest from a weak
+certificate (the stable-checkpoint proof the replica already verified), so
+the data it fetches can be validated against that digest without trusting
+the sender — which is why a single reply suffices.
+
+For the protocol-level simulation the transferred unit is the whole
+checkpoint snapshot (verified against the target digest); the hierarchical,
+page-level mechanics of the partition tree are exercised directly by
+:mod:`repro.statetransfer.partition_tree` and its benchmarks.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.messages import Data, Fetch, Message, MetaData
+
+
+@dataclass
+class TransferMetrics:
+    """Counters for the state-transfer benchmarks."""
+
+    transfers_started: int = 0
+    transfers_completed: int = 0
+    bytes_fetched: int = 0
+    fetch_messages: int = 0
+
+
+class StateTransferManager:
+    """Handles FETCH / DATA messages on behalf of one replica."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.target_seq: Optional[int] = None
+        self.target_digest: Optional[bytes] = None
+        self.metrics = TransferMetrics()
+
+    # -------------------------------------------------------------- initiate
+    def start(self, seq: int, state_digest: bytes) -> None:
+        """Begin fetching the checkpoint with sequence number ``seq``."""
+        if self.target_seq is not None and self.target_seq >= seq:
+            return
+        if seq <= self.replica.stable_checkpoint_seq:
+            return
+        self.target_seq = seq
+        self.target_digest = state_digest
+        self.metrics.transfers_started += 1
+        fetch = Fetch(
+            level=0,
+            index=0,
+            last_checkpoint=self.replica.stable_checkpoint_seq,
+            target_seq=seq,
+            replica=self.replica.id,
+            sender=self.replica.id,
+        )
+        self.metrics.fetch_messages += 1
+        self.replica.auth.sign_multicast(fetch, self.replica.others())
+        self.replica.env.broadcast(self.replica.others(), fetch)
+
+    @property
+    def in_progress(self) -> bool:
+        return self.target_seq is not None
+
+    # ---------------------------------------------------------------- handle
+    def handle(self, message: Message) -> None:
+        if isinstance(message, Fetch):
+            self._handle_fetch(message)
+        elif isinstance(message, Data):
+            self._handle_data(message)
+        elif isinstance(message, MetaData):
+            # Partition-level metadata is only used by the standalone
+            # partition-tree benchmarks; nothing to do at the replica level.
+            pass
+
+    def _handle_fetch(self, message: Fetch) -> None:
+        replica = self.replica
+        # Serve the newest checkpoint at or above the requested one.
+        candidates = [
+            seq
+            for seq in replica.checkpoints
+            if seq >= max(message.target_seq, 0) and seq >= message.last_checkpoint
+        ]
+        if not candidates:
+            return
+        seq = max(candidates)
+        snapshot = replica.checkpoints[seq]
+        blob = pickle.dumps(
+            {
+                "seq": seq,
+                "state_digest": snapshot.state_digest,
+                "service_snapshot": snapshot.service_snapshot,
+                "last_reply_timestamp": snapshot.last_reply_timestamp,
+            }
+        )
+        data = Data(
+            index=seq,
+            last_modified=seq,
+            page=blob,
+            sender=replica.id,
+        )
+        replica.auth.sign_point_to_point(data, message.replica)
+        replica.env.send(message.replica, data)
+
+    def _handle_data(self, message: Data) -> None:
+        if self.target_seq is None:
+            return
+        try:
+            payload = pickle.loads(message.page)
+        except Exception:  # noqa: BLE001 - malformed data from a faulty replica
+            return
+        seq = payload.get("seq", -1)
+        state_digest = payload.get("state_digest", b"")
+        if seq < self.target_seq:
+            return
+        if seq == self.target_seq and state_digest != self.target_digest:
+            # Does not match the digest proven by the stable certificate:
+            # reject (the sender may be faulty) and wait for another reply.
+            return
+        self.metrics.bytes_fetched += len(message.page)
+        self.replica.install_fetched_state(
+            seq,
+            state_digest,
+            payload["service_snapshot"],
+            payload["last_reply_timestamp"],
+        )
+        self.metrics.transfers_completed += 1
+        self.target_seq = None
+        self.target_digest = None
+        if self.replica.recovery is not None:
+            self.replica.recovery.on_state_fetched(seq)

@@ -1,0 +1,119 @@
+"""End-to-end tests of view changes (primary failure and recovery of
+liveness, Sections 2.3.5 and 3.2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library import BFTCluster
+from repro.services import KeyValueStore
+from repro.sim.faults import FaultSpec, FaultType
+
+
+def build_cluster(**kwargs):
+    defaults = dict(
+        f=1,
+        service_factory=KeyValueStore,
+        checkpoint_interval=8,
+        view_change_timeout=200_000.0,
+        client_retransmission_timeout=100_000.0,
+    )
+    defaults.update(kwargs)
+    return BFTCluster.create(**defaults)
+
+
+def test_crash_of_primary_triggers_view_change_and_service_continues():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    client.invoke(b"SET before crash")
+    cluster.crash_replica("replica0")
+    result = client.invoke(b"SET after crash", timeout=30_000_000)
+    assert result == b"OK"
+    alive = [r for rid, r in cluster.replicas.items() if rid != "replica0"]
+    assert all(r.view >= 1 for r in alive)
+    assert all(r.metrics.view_changes_completed >= 1 for r in alive)
+    assert client.invoke(b"GET after", read_only=True) == b"crash"
+
+
+def test_state_written_before_crash_survives_view_change():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    for i in range(5):
+        client.invoke(b"SET key%d value%d" % (i, i))
+    cluster.crash_replica("replica0")
+    for i in range(5):
+        assert client.invoke(b"GET key%d" % i, timeout=30_000_000) == b"value%d" % i
+
+
+def test_mute_primary_is_replaced():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    client.invoke(b"SET warm up")
+    # The primary stops sending pre-prepares but is otherwise alive.
+    cluster.inject_fault(
+        FaultSpec(node="replica0", fault=FaultType.MUTE_PRIMARY, start=cluster.now)
+    )
+    assert client.invoke(b"SET after mute", timeout=30_000_000) == b"OK"
+    assert cluster.agreement_view() >= 1
+
+
+def test_equivocating_primary_cannot_split_the_replicas():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    client.invoke(b"SET base line")
+    cluster.inject_fault(
+        FaultSpec(node="replica0", fault=FaultType.EQUIVOCATE, start=cluster.now)
+    )
+    # Conflicting pre-prepares cannot gather prepared certificates, so the
+    # request eventually commits in a later view after a view change.
+    assert client.invoke(b"SET post equivocation", timeout=60_000_000) == b"OK"
+    cluster.run(duration=2_000_000)
+    digests = {
+        r.service.state_digest()
+        for rid, r in cluster.replicas.items()
+        if r.last_executed == max(rep.last_executed for rep in cluster.replicas.values())
+    }
+    assert len(digests) == 1
+
+
+def test_successive_primary_failures_move_through_views():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    client.invoke(b"SET v0 ok")
+    cluster.crash_replica("replica0")
+    assert client.invoke(b"SET v1 ok", timeout=60_000_000) == b"OK"
+    cluster.crash_replica("replica1")
+    # Only 2 replicas remain, which is below the 2f+1 quorum: the system
+    # must NOT make progress (safety over liveness).  We check the opposite
+    # case first with f=2 below; here just assert no divergence happened.
+    with pytest.raises(TimeoutError):
+        client.invoke(b"SET v2 should stall", timeout=3_000_000)
+    digests = {
+        r.service.state_digest()
+        for rid, r in cluster.replicas.items()
+        if rid not in ("replica0", "replica1")
+    }
+    assert len(digests) == 1
+
+
+def test_f2_group_survives_two_crashes():
+    cluster = BFTCluster.create(
+        f=2, service_factory=KeyValueStore, checkpoint_interval=8,
+        view_change_timeout=200_000.0, client_retransmission_timeout=100_000.0,
+    )
+    client = cluster.new_client()
+    client.invoke(b"SET start 1")
+    cluster.crash_replica("replica0")
+    cluster.crash_replica("replica3")
+    assert client.invoke(b"SET survived 2", timeout=60_000_000) == b"OK"
+    assert client.invoke(b"GET survived", timeout=60_000_000) == b"2"
+
+
+def test_view_change_metrics_recorded():
+    cluster = build_cluster()
+    client = cluster.new_client()
+    client.invoke(b"SET a 1")
+    cluster.crash_replica("replica0")
+    client.invoke(b"SET b 2", timeout=30_000_000)
+    started = sum(r.metrics.view_changes_started for r in cluster.replicas.values())
+    assert started >= 3  # every live backup starts the change

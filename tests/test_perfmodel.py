@@ -1,0 +1,116 @@
+"""Tests for the analytic performance model (Chapter 7)."""
+
+import pytest
+
+from repro.core.config import AuthMode
+from repro.perfmodel import LatencyModel, ThroughputModel, PAPER_PARAMETERS
+from repro.perfmodel.params import CommunicationCosts, CryptoCosts, ModelParameters
+
+
+# ------------------------------------------------------------------ params
+def test_digest_cost_linear_in_size():
+    crypto = CryptoCosts(digest_fixed=1.0, digest_per_byte=0.01)
+    assert crypto.digest_cost(0) == pytest.approx(1.0)
+    assert crypto.digest_cost(1000) == pytest.approx(11.0)
+
+
+def test_signature_vs_mac_gap_is_orders_of_magnitude():
+    crypto = PAPER_PARAMETERS.crypto
+    assert crypto.signature_sign / crypto.mac > 1000
+    assert crypto.signature_verify / crypto.mac > 100
+
+
+def test_authenticator_costs_scale_with_group_size():
+    crypto = PAPER_PARAMETERS.crypto
+    assert crypto.authenticator_generate(7) > crypto.authenticator_generate(4)
+    assert crypto.authenticator_verify() == crypto.mac
+
+
+def test_communication_cost_model_components():
+    comm = CommunicationCosts(send_fixed=10, receive_fixed=20, per_byte_wire=0.1)
+    assert comm.transit_time(100) == pytest.approx(40.0)
+    conditions = comm.network_conditions()
+    assert conditions.fixed_delay == pytest.approx(30.0)
+    assert conditions.per_byte_delay == pytest.approx(0.1)
+
+
+def test_parameter_overrides():
+    params = PAPER_PARAMETERS.with_crypto(mac=5.0).with_communication(send_fixed=99.0)
+    assert params.crypto.mac == 5.0
+    assert params.communication.send_fixed == 99.0
+    # The original is unchanged (frozen dataclasses).
+    assert PAPER_PARAMETERS.crypto.mac != 5.0
+
+
+# ----------------------------------------------------------------- latency
+def test_read_only_is_faster_than_read_write():
+    model = LatencyModel(n=4)
+    assert model.read_only_latency(0, 0) < model.read_write_latency(0, 0)
+
+
+def test_bft_pk_is_much_slower_than_bft():
+    mac = LatencyModel(n=4, auth_mode=AuthMode.MAC)
+    pk = LatencyModel(n=4, auth_mode=AuthMode.SIGNATURE)
+    assert pk.read_write_latency(0, 0) > 20 * mac.read_write_latency(0, 0)
+
+
+def test_unreplicated_is_fastest():
+    model = LatencyModel(n=4)
+    assert model.unreplicated_latency(0, 0) < model.read_only_latency(0, 0)
+
+
+def test_latency_grows_with_argument_and_result_size():
+    model = LatencyModel(n=4)
+    base = model.read_write_latency(0, 0)
+    assert model.read_write_latency(4096, 0) > base
+    assert model.read_write_latency(0, 4096) > base
+
+
+def test_digest_replies_reduce_large_result_latency():
+    with_digests = LatencyModel(n=4, digest_replies=True)
+    without = LatencyModel(n=4, digest_replies=False)
+    assert with_digests.read_write_latency(0, 8192) < without.read_write_latency(0, 8192)
+
+
+def test_latency_grows_mildly_with_more_replicas():
+    small = LatencyModel(n=4).read_write_latency(0, 0)
+    large = LatencyModel(n=13).read_write_latency(0, 0)
+    assert large > small
+    # The growth is modest (authenticators, extra prepares), not explosive.
+    assert large < 4 * small
+
+
+def test_tentative_execution_removes_commit_phase_from_critical_path():
+    tentative = LatencyModel(n=4, tentative_execution=True)
+    committed = LatencyModel(n=4, tentative_execution=False)
+    assert tentative.read_write_latency(0, 0) < committed.read_write_latency(0, 0)
+
+
+# -------------------------------------------------------------- throughput
+def test_batching_improves_read_write_throughput():
+    batched = ThroughputModel(n=4, batch_size=16)
+    unbatched = ThroughputModel(n=4, batch_size=1)
+    assert batched.read_write_throughput() > 2 * unbatched.read_write_throughput()
+
+
+def test_throughput_signature_mode_collapses():
+    mac = ThroughputModel(n=4, batch_size=16)
+    pk = ThroughputModel(n=4, batch_size=16, auth_mode=AuthMode.SIGNATURE)
+    assert mac.read_write_throughput() > 10 * pk.read_write_throughput()
+
+
+def test_unreplicated_throughput_upper_bounds_bft():
+    model = ThroughputModel(n=4, batch_size=16)
+    assert model.unreplicated_throughput() > model.read_write_throughput()
+
+
+def test_throughput_decreases_with_group_size():
+    small = ThroughputModel(n=4, batch_size=16)
+    large = ThroughputModel(n=13, batch_size=16)
+    assert small.read_write_throughput() > large.read_write_throughput()
+
+
+def test_read_only_throughput_independent_of_batching():
+    a = ThroughputModel(n=4, batch_size=1)
+    b = ThroughputModel(n=4, batch_size=64)
+    assert a.read_only_throughput() == pytest.approx(b.read_only_throughput())

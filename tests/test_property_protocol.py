@@ -1,0 +1,112 @@
+"""Property-based tests on protocol invariants (hypothesis).
+
+The key safety property of state-machine replication: for any workload,
+all non-faulty replicas execute the same requests in the same order and
+therefore end in identical states, and every client-visible result is the
+one produced by that order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.messages import pack
+from repro.core.quorum import max_faulty, quorum_size, replicas_for, weak_size
+from repro.library import BFTCluster
+from repro.services import CounterService, KeyValueStore
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from([b"SET", b"DEL", b"GET"]),
+        st.integers(min_value=0, max_value=5),      # key space
+        st.integers(min_value=0, max_value=99),     # value
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=operations, seed=st.integers(min_value=0, max_value=2**16))
+def test_replicas_converge_for_any_workload(ops, seed):
+    cluster = BFTCluster.create(f=1, service_factory=KeyValueStore,
+                                checkpoint_interval=4, seed=seed)
+    client = cluster.new_client()
+    model = {}
+    for verb, key, value in ops:
+        key_bytes = b"k%d" % key
+        if verb == b"SET":
+            result = client.invoke(b"SET %s %d" % (key_bytes, value))
+            model[key_bytes] = b"%d" % value
+            assert result == b"OK"
+        elif verb == b"DEL":
+            result = client.invoke(b"DEL %s" % key_bytes)
+            expected = b"OK" if key_bytes in model else b"MISSING"
+            model.pop(key_bytes, None)
+            assert result == expected
+        else:
+            result = client.invoke(b"GET %s" % key_bytes, read_only=True)
+            assert result == model.get(key_bytes, b"")
+    cluster.run(duration=2_000_000)
+    digests = {r.service.state_digest() for r in cluster.replicas.values()}
+    assert len(digests) == 1
+    # The replicated result matches the sequential model at the end, too.
+    for key_bytes, value in model.items():
+        assert client.invoke(b"GET %s" % key_bytes, read_only=True) == value
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    increments=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=10),
+    crash_backup=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_counter_linearizability_with_optional_backup_crash(increments, crash_backup, seed):
+    cluster = BFTCluster.create(f=1, service_factory=CounterService,
+                                checkpoint_interval=4, seed=seed)
+    if crash_backup:
+        cluster.crash_replica("replica3")
+    client = cluster.new_client()
+    total = 0
+    for amount in increments:
+        result = client.invoke(b"INC %d" % amount)
+        total += amount
+        assert result == b"%d" % total
+    assert client.invoke(b"READ", read_only=True) == b"%d" % total
+
+
+@given(f=st.integers(min_value=1, max_value=20))
+def test_quorum_arithmetic_properties(f):
+    n = replicas_for(f)
+    assert max_faulty(n) == f
+    q = quorum_size(n)
+    w = weak_size(n)
+    # Two quorums always intersect in at least f+1 replicas (one correct).
+    assert 2 * q - n >= f + 1
+    # A weak certificate always contains at least one correct replica.
+    assert w >= f + 1
+    # A quorum exists even with f replicas unresponsive.
+    assert n - f >= q
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**40), max_value=2**40),
+            st.binary(max_size=64),
+            st.text(max_size=32),
+            st.booleans(),
+            st.none(),
+        ),
+        max_size=8,
+    )
+)
+def test_pack_is_injective_on_simple_tuples(values):
+    """pack() is deterministic and type/length aware: re-encoding the same
+    values matches, and a structural change (appending) never collides."""
+    encoded = pack(*values)
+    assert encoded == pack(*values)
+    assert pack(*values, 0) != encoded

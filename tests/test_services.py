@@ -1,0 +1,155 @@
+"""Tests for the replicated services (null, key-value store, counter)."""
+
+import pytest
+
+from repro.services.counter import CounterService
+from repro.services.kvstore import KeyValueStore
+from repro.services.null_service import NullService, encode_null_op
+
+
+# ----------------------------------------------------------------- null
+def test_null_service_result_size():
+    service = NullService()
+    op = encode_null_op(result_size=4096, arg_size=0)
+    outcome = service.execute(op, "client0")
+    assert len(outcome.result) == 4096
+    assert service.operations_executed == 1
+
+
+def test_null_service_read_only_flag_parsed():
+    service = NullService()
+    assert service.is_read_only(encode_null_op(0, 0, read_only=True))
+    assert not service.is_read_only(encode_null_op(0, 0, read_only=False))
+    assert not service.is_read_only(b"garbage")
+
+
+def test_null_service_snapshot_roundtrip():
+    service = NullService()
+    service.execute(encode_null_op(0, 0), "c")
+    snapshot = service.snapshot()
+    digest_before = service.state_digest()
+    service.execute(encode_null_op(0, 0), "c")
+    assert service.state_digest() != digest_before
+    service.restore(snapshot)
+    assert service.state_digest() == digest_before
+
+
+# -------------------------------------------------------------- kv store
+def test_kvstore_set_get_del():
+    store = KeyValueStore()
+    assert store.execute(b"SET a 1", "c").result == b"OK"
+    assert store.execute(b"GET a", "c").result == b"1"
+    assert store.execute(b"DEL a", "c").result == b"OK"
+    assert store.execute(b"GET a", "c").result == b""
+    assert store.execute(b"DEL a", "c").result == b"MISSING"
+
+
+def test_kvstore_set_with_spaces_in_value():
+    store = KeyValueStore()
+    store.execute(b"SET k hello world", "c")
+    assert store.execute(b"GET k", "c").result == b"hello world"
+
+
+def test_kvstore_cas_enforces_invariant():
+    store = KeyValueStore()
+    assert store.execute(b"CAS k - v1", "c").result == b"OK"
+    assert store.execute(b"CAS k v1 v2", "c").result == b"OK"
+    assert store.execute(b"CAS k wrong v3", "c").result.startswith(b"FAIL")
+    assert store.get(b"k") == b"v2"
+
+
+def test_kvstore_keys_listing_and_read_only_detection():
+    store = KeyValueStore()
+    store.execute(b"SET b 2", "c")
+    store.execute(b"SET a 1", "c")
+    assert store.execute(b"KEYS", "c").result == b"a,b"
+    assert store.is_read_only(b"GET a")
+    assert store.is_read_only(b"KEYS")
+    assert not store.is_read_only(b"SET a 1")
+
+
+def test_kvstore_access_control_blocks_unauthorised_writers():
+    store = KeyValueStore(writers={"alice"})
+    assert store.execute(b"SET k v", "alice").result == b"OK"
+    assert store.execute(b"SET k2 v", "bob").result == b"ERR access-denied"
+    assert store.execute(b"GET k", "bob").result == b"v"  # reads allowed
+
+
+def test_kvstore_mutation_through_read_only_path_is_rejected():
+    store = KeyValueStore()
+    outcome = store.execute(b"SET k v", "c", read_only=True)
+    assert outcome.result == b"ERR not-read-only"
+    assert store.get(b"k") is None
+
+
+def test_kvstore_snapshot_and_digest():
+    store = KeyValueStore()
+    store.execute(b"SET a 1", "c")
+    snapshot = store.snapshot()
+    digest_a = store.state_digest()
+    store.execute(b"SET b 2", "c")
+    assert store.state_digest() != digest_a
+    store.restore(snapshot)
+    assert store.state_digest() == digest_a
+    assert store.get(b"b") is None
+
+
+def test_kvstore_pages_split_by_page_size():
+    store = KeyValueStore()
+    for i in range(50):
+        store.execute(b"SET key%03d %s" % (i, b"v" * 200), "c")
+    pages = store.pages()
+    assert len(pages) >= 2
+    assert all(len(page) <= store.page_size for page in pages.values())
+
+
+def test_kvstore_corruption_changes_digest():
+    store = KeyValueStore()
+    before = store.state_digest()
+    store.corrupt()
+    assert store.state_digest() != before
+
+
+def test_kvstore_bad_operation():
+    store = KeyValueStore()
+    assert store.execute(b"FLY high", "c").result == b"ERR bad-operation"
+
+
+# --------------------------------------------------------------- counter
+def test_counter_inc_dec_read():
+    counter = CounterService()
+    assert counter.execute(b"INC 5", "c").result == b"5"
+    assert counter.execute(b"DEC 2", "c").result == b"3"
+    assert counter.execute(b"READ", "c").result == b"3"
+
+
+def test_counter_invariant_never_negative():
+    counter = CounterService()
+    counter.execute(b"INC 1", "c")
+    assert counter.execute(b"DEC 5", "c").result == b"ERR underflow"
+    assert counter.value == 1
+
+
+def test_counter_rejects_negative_amounts_and_garbage():
+    counter = CounterService()
+    assert counter.execute(b"INC -5", "c").result == b"ERR negative-amount"
+    assert counter.execute(b"INC abc", "c").result == b"ERR bad-amount"
+    assert counter.execute(b"SPIN", "c").result == b"ERR bad-operation"
+
+
+def test_counter_access_control():
+    counter = CounterService(allowed_clients={"alice"})
+    assert counter.execute(b"INC 1", "bob").result == b"ERR access-denied"
+    assert counter.execute(b"INC 1", "alice").result == b"1"
+    assert counter.execute(b"READ", "bob").result == b"1"
+
+
+def test_counter_snapshot_restore_and_corrupt():
+    counter = CounterService()
+    counter.execute(b"INC 7", "c")
+    snapshot = counter.snapshot()
+    digest_before = counter.state_digest()
+    counter.corrupt()
+    assert counter.state_digest() != digest_before
+    counter.restore(snapshot)
+    assert counter.value == 7

@@ -1,0 +1,49 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_same_time_is_noop():
+    clock = SimClock(3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_rejects_past():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(5.0)
+
+
+def test_advance_by_accumulates():
+    clock = SimClock()
+    clock.advance_by(2.0)
+    clock.advance_by(3.5)
+    assert clock.now == pytest.approx(5.5)
+
+
+def test_advance_by_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance_by(-0.1)

@@ -1,0 +1,58 @@
+"""Tests for fault-injection bookkeeping."""
+
+from repro.sim.faults import FaultInjector, FaultSpec, FaultType
+
+
+def test_fault_active_window():
+    spec = FaultSpec(node="replica0", fault=FaultType.CRASH, start=10.0, end=20.0)
+    assert not spec.active_at(5.0)
+    assert spec.active_at(10.0)
+    assert spec.active_at(15.0)
+    assert spec.active_at(20.0)
+    assert not spec.active_at(25.0)
+
+
+def test_fault_without_end_persists():
+    spec = FaultSpec(node="replica0", fault=FaultType.CRASH, start=10.0)
+    assert spec.active_at(1e12)
+
+
+def test_injector_lookup_by_type():
+    injector = FaultInjector()
+    injector.add(FaultSpec(node="replica1", fault=FaultType.MUTE_PRIMARY, start=0.0))
+    assert injector.has_fault("replica1", FaultType.MUTE_PRIMARY, 5.0)
+    assert not injector.has_fault("replica1", FaultType.CRASH, 5.0)
+    assert not injector.has_fault("replica2", FaultType.MUTE_PRIMARY, 5.0)
+
+
+def test_injector_get_returns_spec():
+    injector = FaultInjector()
+    spec = FaultSpec(
+        node="replica2", fault=FaultType.DROP_MESSAGES, probability=0.5, start=0.0
+    )
+    injector.add(spec)
+    found = injector.get("replica2", FaultType.DROP_MESSAGES, 1.0)
+    assert found is spec
+    assert injector.get("replica2", FaultType.DROP_MESSAGES, -1.0) is None
+
+
+def test_faulty_nodes_lists_active_only():
+    injector = FaultInjector(
+        [
+            FaultSpec(node="a", fault=FaultType.CRASH, start=0.0, end=10.0),
+            FaultSpec(node="b", fault=FaultType.CRASH, start=100.0),
+        ]
+    )
+    assert injector.faulty_nodes(5.0) == ["a"]
+    assert injector.faulty_nodes(150.0) == ["b"]
+
+
+def test_clear_specific_node():
+    injector = FaultInjector()
+    injector.add(FaultSpec(node="a", fault=FaultType.CRASH))
+    injector.add(FaultSpec(node="b", fault=FaultType.CRASH))
+    injector.clear("a")
+    assert not injector.has_fault("a", FaultType.CRASH, 0.0)
+    assert injector.has_fault("b", FaultType.CRASH, 0.0)
+    injector.clear()
+    assert not injector.has_fault("b", FaultType.CRASH, 0.0)

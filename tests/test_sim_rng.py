@@ -1,0 +1,59 @@
+"""Tests for the seeded random-number wrapper."""
+
+from repro.sim.rng import SimRandom
+
+
+def test_same_seed_same_sequence():
+    a = SimRandom(42)
+    b = SimRandom(42)
+    assert [a.randint(0, 1000) for _ in range(10)] == [
+        b.randint(0, 1000) for _ in range(10)
+    ]
+
+
+def test_different_seeds_differ():
+    a = SimRandom(1)
+    b = SimRandom(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic_and_independent():
+    a1 = SimRandom(7).fork("network")
+    a2 = SimRandom(7).fork("network")
+    b = SimRandom(7).fork("faults")
+    seq1 = [a1.random() for _ in range(5)]
+    seq2 = [a2.random() for _ in range(5)]
+    seq3 = [b.random() for _ in range(5)]
+    assert seq1 == seq2
+    assert seq1 != seq3
+
+
+def test_chance_extremes():
+    rng = SimRandom(0)
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.0) is True
+    assert rng.chance(-1.0) is False
+    assert rng.chance(2.0) is True
+
+
+def test_uniform_within_bounds():
+    rng = SimRandom(3)
+    for _ in range(100):
+        value = rng.uniform(5.0, 6.0)
+        assert 5.0 <= value <= 6.0
+
+
+def test_choice_and_sample():
+    rng = SimRandom(5)
+    items = ["a", "b", "c", "d"]
+    assert rng.choice(items) in items
+    sample = rng.sample(items, 2)
+    assert len(sample) == 2
+    assert set(sample) <= set(items)
+
+
+def test_bytes_length():
+    rng = SimRandom(9)
+    assert len(rng.bytes(16)) == 16

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind
+from repro.sim.scheduler import Scheduler
+
+
+class CollectingNode:
+    """Records events delivered to it."""
+
+    def __init__(self):
+        self.received = []
+
+    def handle_event(self, event):
+        self.received.append((event.time, event.payload))
+
+
+def test_events_dispatch_in_time_order():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    scheduler.schedule_at(30.0, EventKind.DELIVER, "n", payload="c")
+    scheduler.schedule_at(10.0, EventKind.DELIVER, "n", payload="a")
+    scheduler.schedule_at(20.0, EventKind.DELIVER, "n", payload="b")
+    scheduler.run()
+    assert [payload for _t, payload in node.received] == ["a", "b", "c"]
+    assert scheduler.clock.now == 30.0
+
+
+def test_simultaneous_events_dispatch_in_insertion_order():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    for payload in ("first", "second", "third"):
+        scheduler.schedule_at(5.0, EventKind.DELIVER, "n", payload=payload)
+    scheduler.run()
+    assert [payload for _t, payload in node.received] == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    event = scheduler.schedule_at(5.0, EventKind.DELIVER, "n", payload="x")
+    event.cancel()
+    scheduler.run()
+    assert node.received == []
+
+
+def test_run_until_stops_before_later_events():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    scheduler.schedule_at(10.0, EventKind.DELIVER, "n", payload="early")
+    scheduler.schedule_at(100.0, EventKind.DELIVER, "n", payload="late")
+    scheduler.run(until=50.0)
+    assert [payload for _t, payload in node.received] == ["early"]
+    assert scheduler.clock.now == 50.0
+    scheduler.run()
+    assert len(node.received) == 2
+
+
+def test_run_max_events_limit():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    for i in range(10):
+        scheduler.schedule_at(float(i), EventKind.DELIVER, "n", payload=i)
+    dispatched = scheduler.run(max_events=4)
+    assert dispatched == 4
+    assert len(node.received) == 4
+
+
+def test_stop_when_condition():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    for i in range(10):
+        scheduler.schedule_at(float(i + 1), EventKind.DELIVER, "n", payload=i)
+    scheduler.run(stop_when=lambda: len(node.received) >= 3)
+    assert len(node.received) == 3
+
+
+def test_callback_events_invoke_callable():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.schedule_at(
+        1.0, EventKind.INTERNAL, "nobody", callback=lambda: fired.append(True)
+    )
+    scheduler.run()
+    assert fired == [True]
+
+
+def test_cannot_schedule_in_the_past():
+    scheduler = Scheduler()
+    scheduler.clock.advance_to(100.0)
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(50.0, EventKind.DELIVER, "n")
+
+
+def test_unknown_target_is_ignored():
+    scheduler = Scheduler()
+    scheduler.schedule_at(1.0, EventKind.DELIVER, "ghost", payload="x")
+    # No exception: the event is dropped because no node is registered.
+    assert scheduler.run() == 1
+
+
+def test_pending_counts_uncancelled_events():
+    scheduler = Scheduler()
+    event = scheduler.schedule_at(1.0, EventKind.DELIVER, "n")
+    scheduler.schedule_at(2.0, EventKind.DELIVER, "n")
+    assert scheduler.pending == 2
+    event.cancel()
+    assert scheduler.pending == 1
