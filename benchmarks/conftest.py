@@ -6,6 +6,13 @@ outcomes in EXPERIMENTS.md.  The pytest-benchmark timings measure the cost
 of running the simulation itself; the reproduced results are the
 ``ExperimentTable`` rows each benchmark prints and saves under
 ``results/``.
+
+Smoke mode: setting ``BENCH_SMOKE=1`` in the environment shrinks the
+workload sizes of benchmarks wired to the ``bench_scale`` fixture so the
+whole suite finishes in a few seconds (for quick CI loops).  Without the
+variable, benchmarks run at full scale and their recorded numbers are the
+ones that count.  New benchmarks should take their workload knobs from
+``bench_scale(full, smoke)``.
 """
 
 from __future__ import annotations
@@ -21,8 +28,29 @@ import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "results")
 
+#: True when the suite runs in smoke mode (BENCH_SMOKE=1).
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() not in (
+    "", "0", "false", "no",
+)
+
 
 @pytest.fixture
 def results_dir() -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_smoke() -> bool:
+    """Whether the suite is running in smoke mode."""
+    return BENCH_SMOKE
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """``bench_scale(full, smoke)`` returns the workload knob for the mode."""
+
+    def scale(full, smoke):
+        return smoke if BENCH_SMOKE else full
+
+    return scale

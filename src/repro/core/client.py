@@ -256,8 +256,10 @@ class Client:
             pending.read_only = False
             pending.votes.clear()
             pending.results.clear()
-        else:
-            # Ask every replica for a full reply.
+        elif pending.request.designated_replier is not None:
+            # Ask every replica for a full reply.  Once the request is
+            # already in this plain form, later retransmissions reuse the
+            # same message object (and its cached encoding and MAC tags).
             pending.request = Request(
                 operation=pending.request.operation,
                 timestamp=pending.request.timestamp,

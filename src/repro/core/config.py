@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Tuple
 
 from repro.core.quorum import max_faulty, quorum_size, replicas_for, weak_size
@@ -76,8 +77,11 @@ class ReplicaSetConfig:
     def log_size(self) -> int:
         return self.checkpoint_interval * self.log_size_multiplier
 
-    @property
+    @cached_property
     def replica_ids(self) -> Tuple[str, ...]:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; the config is immutable so the cache never
+        # goes stale.
         return tuple(f"replica{i}" for i in range(self.n))
 
     def replica_index(self, replica_id: str) -> int:

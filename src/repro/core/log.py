@@ -108,8 +108,11 @@ class CheckpointRecord:
 
     def stable_digest(self, threshold: int) -> Optional[bytes]:
         """Return the digest with at least ``threshold`` votes, if any."""
-        for candidate in self.digests():
-            if self.count_for(candidate) >= threshold:
+        votes: Dict[bytes, int] = {}
+        for message in self.messages.values():
+            votes[message.state_digest] = votes.get(message.state_digest, 0) + 1
+        for candidate in sorted(votes):
+            if votes[candidate] >= threshold:
                 return candidate
         return None
 
@@ -121,6 +124,10 @@ class MessageLog:
         self.log_size = log_size
         self.low_water_mark = 0
         self.slots: Dict[int, Slot] = {}
+        #: Number of slots holding a pre-prepare that has not executed.
+        #: Maintained by :meth:`attach_pre_prepare`/:meth:`note_executed` so
+        #: idle checks need no scan over the log.
+        self.unexecuted_batches = 0
         self.checkpoints: Dict[int, CheckpointRecord] = {}
         #: Requests known to this replica, keyed by request digest.  Used to
         #: execute batches whose requests travelled separately.
@@ -148,6 +155,8 @@ class MessageLog:
         elif view is not None and view > slot.view:
             # Entering a later view for this sequence number resets the slot's
             # agreement state; execution flags persist.
+            if slot.pre_prepare is not None and not slot.executed:
+                self.unexecuted_batches -= 1
             executed = slot.executed
             executed_tentatively = slot.executed_tentatively
             slot = Slot(seq=seq, view=view)
@@ -155,6 +164,20 @@ class MessageLog:
             slot.executed_tentatively = executed_tentatively
             self.slots[seq] = slot
         return slot
+
+    def attach_pre_prepare(self, slot: Slot, pre_prepare: PrePrepare) -> None:
+        """Install a pre-prepare in ``slot``, keeping the outstanding-batch
+        counter consistent.  All replica code assigns through here."""
+        if slot.pre_prepare is None and not slot.executed:
+            self.unexecuted_batches += 1
+        slot.pre_prepare = pre_prepare
+
+    def note_executed(self, slot: Slot) -> None:
+        """Mark ``slot`` executed, keeping the outstanding-batch counter
+        consistent."""
+        if not slot.executed and slot.pre_prepare is not None:
+            self.unexecuted_batches -= 1
+        slot.executed = True
 
     def existing_slot(self, seq: int) -> Optional[Slot]:
         return self.slots.get(seq)
@@ -180,7 +203,10 @@ class MessageLog:
         return self.requests.get(request_digest)
 
     def remember_batch(self, pre_prepare: PrePrepare) -> None:
-        self.batches[pre_prepare.batch_digest()] = pre_prepare
+        # Keep the first-seen instance for a digest: equal batch digests
+        # imply identical batch contents, and the stored instance already
+        # carries warm encoding/digest caches.
+        self.batches.setdefault(pre_prepare.batch_digest(), pre_prepare)
 
     def batch_by_digest(self, batch_digest: bytes) -> Optional[PrePrepare]:
         return self.batches.get(batch_digest)
@@ -194,6 +220,9 @@ class MessageLog:
         if stable_seq <= self.low_water_mark:
             return
         self.low_water_mark = stable_seq
+        for seq, slot in self.slots.items():
+            if seq <= stable_seq and slot.pre_prepare is not None and not slot.executed:
+                self.unexecuted_batches -= 1
         self.slots = {seq: s for seq, s in self.slots.items() if seq > stable_seq}
         self.checkpoints = {
             seq: record

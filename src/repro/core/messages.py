@@ -10,6 +10,16 @@ Authentication metadata (a signature, an authenticator, or a single MAC) is
 attached to messages in the ``auth`` field by :mod:`repro.core.auth`; it is
 excluded from the canonical encoding, which covers only the protocol
 payload.
+
+Canonical encodings and digests are memoized per instance: message payload
+fields are never mutated after construction (faulty behaviour is modeled
+with ``dataclasses.replace``, which builds a fresh instance and therefore a
+fresh cache), so ``payload_bytes``/``payload_digest``/``request_digest``/
+``batch_digest`` each compute once and then serve the cached value.  The
+cache lives in the instance ``__dict__`` under non-field keys, so it is
+invisible to ``==``, ``repr`` and ``dataclasses.replace``.  The global
+switch in :mod:`repro.hotpath` turns memoization off for baseline
+benchmarking.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
+from repro import hotpath
 from repro.crypto.digests import DIGEST_SIZE, NULL_DIGEST, digest
 
 # Size, in bytes, of the generic message header (Figure 6-1).
@@ -39,15 +50,26 @@ def pack(*fields: Any) -> bytes:
 
     Handles the types that appear in protocol messages: ``bytes``, ``str``,
     ``int``, ``bool``, ``None``, and (nested) tuples.  The encoding is
-    length-prefixed so it is unambiguous.
+    length-prefixed so it is unambiguous.  The encoder appends into one
+    shared buffer (no per-value intermediate bytes) and dispatches on exact
+    type for the common cases, falling back to the general path for
+    subclasses and the rarer container types.  With hot-path optimizations
+    disabled the pre-optimization per-value encoder runs instead (same
+    output, used for baseline benchmarking).
     """
+    if not hotpath.CACHES_ENABLED:
+        out = bytearray()
+        for value in fields:
+            out.extend(_pack_one_baseline(value))
+        return bytes(out)
     out = bytearray()
     for value in fields:
-        out.extend(_pack_one(value))
+        _append_one(out, value)
     return bytes(out)
 
 
-def _pack_one(value: Any) -> bytes:
+def _pack_one_baseline(value: Any) -> bytes:
+    """The pre-optimization encoder: one intermediate ``bytes`` per value."""
     if value is None:
         return b"N"
     if isinstance(value, bool):
@@ -65,9 +87,46 @@ def _pack_one(value: Any) -> bytes:
         items = list(value)
         if isinstance(value, frozenset):
             items = sorted(items, key=repr)
-        body = b"".join(_pack_one(item) for item in items)
+        body = b"".join(_pack_one_baseline(item) for item in items)
         return b"T" + len(items).to_bytes(4, "big") + body
     raise TypeError(f"cannot pack value of type {type(value).__name__}")
+
+
+def _append_one(out: bytearray, value: Any) -> None:
+    kind = type(value)
+    if kind is bytes:
+        out += b"Y"
+        out += len(value).to_bytes(4, "big")
+        out += value
+        return
+    if kind is int:
+        encoded = str(value).encode()
+        out += b"I"
+        out += len(encoded).to_bytes(4, "big")
+        out += encoded
+        return
+    if kind is str:
+        encoded = value.encode()
+        out += b"S"
+        out += len(encoded).to_bytes(4, "big")
+        out += encoded
+        return
+    if kind is bool:
+        out += b"B1" if value else b"B0"
+        return
+    if value is None:
+        out += b"N"
+        return
+    if kind is tuple:
+        out += b"T"
+        out += len(value).to_bytes(4, "big")
+        for item in value:
+            _append_one(out, item)
+        return
+    # General path: subclasses of the primitives and the rarer containers
+    # share the baseline encoder, so the format lives in two places only
+    # (exact-type fast path above, general encoder below).
+    out += _pack_one_baseline(value)
 
 
 @dataclass
@@ -87,10 +146,22 @@ class Message:
         raise NotImplementedError
 
     def payload_bytes(self) -> bytes:
-        return pack(type(self).__name__, self.sender, *self.payload_fields())
+        if not hotpath.CACHES_ENABLED:
+            return pack(type(self).__name__, self.sender, *self.payload_fields())
+        cached = self.__dict__.get("_payload_bytes_cache")
+        if cached is None:
+            cached = pack(type(self).__name__, self.sender, *self.payload_fields())
+            self.__dict__["_payload_bytes_cache"] = cached
+        return cached
 
     def payload_digest(self) -> bytes:
-        return digest(self.payload_bytes())
+        if not hotpath.CACHES_ENABLED:
+            return digest(self.payload_bytes())
+        cached = self.__dict__.get("_payload_digest_cache")
+        if cached is None:
+            cached = digest(self.payload_bytes())
+            self.__dict__["_payload_digest_cache"] = cached
+        return cached
 
     def auth_size(self) -> int:
         if self.auth is None:
@@ -100,7 +171,17 @@ class Message:
         return MAC_FIELD_SIZE
 
     def wire_size(self) -> int:
-        return GENERIC_HEADER_SIZE + self.body_size() + self.auth_size()
+        if not hotpath.CACHES_ENABLED:
+            return GENERIC_HEADER_SIZE + self.body_size() + self.auth_size()
+        # The size depends on ``auth``, which is reassigned when a stored
+        # message is re-signed for retransmission — guard the memo on the
+        # identity of the auth object it was computed under.
+        cached = self.__dict__.get("_wire_size_cache")
+        if cached is not None and cached[0] is self.auth:
+            return cached[1]
+        size = GENERIC_HEADER_SIZE + self.body_size() + self.auth_size()
+        self.__dict__["_wire_size_cache"] = (self.auth, size)
+        return size
 
     def body_size(self) -> int:
         return 32
@@ -147,7 +228,13 @@ class Request(Message):
         """The digest that identifies this request in the protocol."""
         if self.is_null:
             return NULL_DIGEST
-        return digest(pack(self.client, self.timestamp, self.operation))
+        if not hotpath.CACHES_ENABLED:
+            return digest(pack(self.client, self.timestamp, self.operation))
+        cached = self.__dict__.get("_request_digest_cache")
+        if cached is None:
+            cached = digest(pack(self.client, self.timestamp, self.operation))
+            self.__dict__["_request_digest_cache"] = cached
+        return cached
 
     def body_size(self) -> int:
         return REQUEST_HEADER_SIZE + len(self.operation)
@@ -214,29 +301,50 @@ class PrePrepare(Message):
     separate_digests: Tuple[bytes, ...] = ()
     nondet: bytes = b""
 
+    def _inline_request_digests(self) -> Tuple[bytes, ...]:
+        """Digests of the inlined requests, shared by ``payload_fields``,
+        ``batch_digest`` and ``all_request_digests``."""
+        if not hotpath.CACHES_ENABLED:
+            return tuple(r.request_digest() for r in self.requests)
+        cached = self.__dict__.get("_inline_digests_cache")
+        if cached is None:
+            cached = tuple(r.request_digest() for r in self.requests)
+            self.__dict__["_inline_digests_cache"] = cached
+        return cached
+
     def payload_fields(self) -> Tuple[Any, ...]:
         return (
             self.view,
             self.seq,
-            tuple(r.request_digest() for r in self.requests),
+            self._inline_request_digests(),
             tuple(self.separate_digests),
             self.nondet,
         )
 
     def batch_digest(self) -> bytes:
         """Digest identifying the ordered batch (request digests + nondet)."""
-        return digest(
-            pack(
-                tuple(r.request_digest() for r in self.requests),
-                tuple(self.separate_digests),
-                self.nondet,
+        if not hotpath.CACHES_ENABLED:
+            return digest(
+                pack(
+                    self._inline_request_digests(),
+                    tuple(self.separate_digests),
+                    self.nondet,
+                )
             )
-        )
+        cached = self.__dict__.get("_batch_digest_cache")
+        if cached is None:
+            cached = digest(
+                pack(
+                    self._inline_request_digests(),
+                    tuple(self.separate_digests),
+                    self.nondet,
+                )
+            )
+            self.__dict__["_batch_digest_cache"] = cached
+        return cached
 
     def all_request_digests(self) -> Tuple[bytes, ...]:
-        return tuple(r.request_digest() for r in self.requests) + tuple(
-            self.separate_digests
-        )
+        return self._inline_request_digests() + tuple(self.separate_digests)
 
     def body_size(self) -> int:
         inlined = sum(r.body_size() for r in self.requests)

@@ -119,6 +119,7 @@ class Replica:
         self.options = options
         self.params = params
 
+        self._others = config.others(replica_id)
         self.view = 0
         self.status = ReplicaStatus.NORMAL
         self.active_view = True
@@ -170,7 +171,7 @@ class Replica:
         return self.config.primary_of(self.view)
 
     def others(self) -> Tuple[str, ...]:
-        return self.config.others(self.id)
+        return self._others
 
     def _take_initial_checkpoint(self) -> None:
         snapshot = CheckpointSnapshot(
@@ -334,7 +335,7 @@ class Replica:
         )
         self.log.remember_batch(pre_prepare)
         slot = self.log.slot(seq, self.view)
-        slot.pre_prepare = pre_prepare
+        self.log.attach_pre_prepare(slot, pre_prepare)
         slot.pre_prepared_locally = True
         self.auth.sign_multicast(pre_prepare, self.others())
         self.env.broadcast(self.others(), pre_prepare)
@@ -389,7 +390,7 @@ class Replica:
             return
         if not self.service.check_nondet(message.nondet, self.env.now()):
             return
-        slot.pre_prepare = message
+        self.log.attach_pre_prepare(slot, message)
         slot.pre_prepared_locally = True
         self.log.remember_batch(message)
         self._start_view_change_timer()
@@ -428,10 +429,9 @@ class Replica:
         if pending is None:
             return
         slot = self.log.slot(prepare.seq, prepare.view)
+        pending_digest = pending.batch_digest()
         matching = sum(
-            1
-            for p in slot.prepares.values()
-            if p.digest == pending.batch_digest()
+            1 for p in slot.prepares.values() if p.digest == pending_digest
         )
         if matching >= self.config.f and self._have_all_requests(pending):
             del self.pending_pre_prepares[key]
@@ -498,7 +498,7 @@ class Replica:
                 break
             if not slot.executed_tentatively:
                 self._execute_slot(slot, tentative=False)
-            slot.executed = True
+            self.log.note_executed(slot)
             self.last_executed = seq
             self.last_tentative = max(self.last_tentative, seq)
             self._pre_tentative_snapshot = None
@@ -699,10 +699,7 @@ class Replica:
     def _stop_view_change_timer_if_idle(self) -> None:
         # The timer only needs to keep running while there are accepted
         # requests that have not executed.
-        outstanding = any(
-            not slot.executed for slot in self.log.slots.values() if slot.pre_prepare
-        )
-        if not outstanding and not self.request_queue:
+        if self.log.unexecuted_batches == 0 and not self.request_queue:
             self.env.cancel_timer(VIEW_CHANGE_TIMER)
             self._view_change_timeout = self.config.view_change_timeout
 
@@ -967,7 +964,7 @@ class Replica:
                 sender=self.config.primary_of(self.view),
             )
             slot = self.log.slot(seq, self.view)
-            slot.pre_prepare = new_pre_prepare
+            self.log.attach_pre_prepare(slot, new_pre_prepare)
             slot.pre_prepared_locally = True
             self.log.remember_batch(new_pre_prepare)
             if send_prepares:

@@ -5,6 +5,13 @@ that are multicast to the replica group.  Each receiver checks only its own
 entry.  Unlike a signature, an authenticator does not let a receiver prove
 to a third party that the message is authentic — that weakness is what
 forces the redesigned view-change protocol of Chapter 3.
+
+The helpers here are agnostic about what bytes they MAC.  The protocol
+layer (:class:`repro.core.auth.Authentication`) computes its tags over the
+16-byte *message digest*, per Section 3.2.1, and builds/checks entries
+itself so it can cache tags; mixing these helpers with
+``Authentication``-produced messages only verifies if the same bytes (the
+digest) are passed as ``data``.
 """
 
 from __future__ import annotations

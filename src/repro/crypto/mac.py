@@ -4,6 +4,14 @@ A MAC authenticates a message between two parties that share a session key.
 The paper uses UMAC32 (64-bit tags); we use HMAC-SHA256 truncated to 8 bytes,
 which preserves the interface and the security property that matters to the
 protocol (a third party cannot verify or forge a tag without the key).
+
+HMAC derives an inner and an outer key block from the key material before
+hashing any data; that derivation costs two SHA-256 compressions and is
+identical for every message under the same key.  ``compute_mac`` therefore
+keeps one pre-keyed HMAC context per key material and ``copy()``s it per
+message — the context-family reuse that makes building an authenticator for
+a multicast cheap.  The cache is keyed on the raw key material, so a key
+refresh naturally gets a fresh context.
 """
 
 from __future__ import annotations
@@ -11,9 +19,15 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple, Union
+
+from repro import hotpath
 
 #: Length of a MAC tag in bytes (UMAC32 produces a 64-bit tag).
 MAC_SIZE = 8
+
+BytesLike = Union[bytes, bytearray, memoryview]
 
 
 @dataclass(frozen=True)
@@ -28,12 +42,45 @@ class MACKey:
             raise ValueError("MAC key material must be non-empty")
 
 
-def compute_mac(key: MACKey, data: bytes) -> bytes:
-    """Compute the 8-byte MAC tag of ``data`` under ``key``."""
+#: SHA-256 processes input in 64-byte blocks; HMAC pads keys to this size.
+_BLOCK_SIZE = 64
+
+
+@lru_cache(maxsize=4096)
+def _keyed_contexts(material: bytes) -> Tuple["hashlib._Hash", "hashlib._Hash"]:
+    """The pre-keyed inner and outer SHA-256 contexts for ``material``.
+
+    These hold the HMAC key blocks (key XOR ipad / key XOR opad) already
+    absorbed, so computing a tag costs two ``copy()``s and the data hashing
+    only.  Never updated directly; callers ``copy()`` before feeding data.
+    """
+    if len(material) > _BLOCK_SIZE:
+        material = hashlib.sha256(material).digest()
+    padded = material + b"\x00" * (_BLOCK_SIZE - len(material))
+    inner = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+    outer = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+    return inner, outer
+
+
+def compute_mac(key: MACKey, data: BytesLike) -> bytes:
+    """Compute the 8-byte MAC tag of ``data`` under ``key``.
+
+    Accepts any byte-like ``data`` (``bytes``, ``bytearray``,
+    ``memoryview``) without copying it.  The result is identical to
+    ``hmac.new(key.material, data, sha256)`` — the fast path only reuses
+    the pre-keyed contexts.
+    """
+    if hotpath.CACHES_ENABLED:
+        inner, outer = _keyed_contexts(key.material)
+        digest_inner = inner.copy()
+        digest_inner.update(data)
+        digest_outer = outer.copy()
+        digest_outer.update(digest_inner.digest())
+        return digest_outer.digest()[:MAC_SIZE]
     return hmac.new(key.material, data, hashlib.sha256).digest()[:MAC_SIZE]
 
 
-def verify_mac(key: MACKey, data: bytes, tag: bytes) -> bool:
+def verify_mac(key: MACKey, data: BytesLike, tag: bytes) -> bool:
     """Constant-time verification of a MAC tag."""
     expected = compute_mac(key, data)
     return hmac.compare_digest(expected, tag)

@@ -1,0 +1,47 @@
+"""Runtime switch for the simulator's hot-path optimizations.
+
+The hot path of the simulation — canonical message encodings, digests, and
+MAC tags — is memoized so each value is computed once per message instead
+of once per call site, and the primitives underneath (the canonical
+encoder, SHA-256 input handling, HMAC keying) run optimized
+implementations (see :mod:`repro.core.messages`,
+:mod:`repro.crypto.digests`, :mod:`repro.crypto.mac` and
+:mod:`repro.core.auth`).  None of it changes protocol behaviour or the
+modeled (charged) costs; only the real wall-clock cost of running the
+simulator.
+
+``caches_disabled`` restores the pre-optimization code paths — recompute
+every encoding/digest/MAC at every call site, with the original
+implementations — so the hot-path benchmark can measure the baseline in
+the same process and report the speedup honestly
+(``benchmarks/test_bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Global switch read by the cached code paths.  True in normal operation.
+CACHES_ENABLED = True
+
+
+def caches_enabled() -> bool:
+    """Whether the hot-path caches are currently active."""
+    return CACHES_ENABLED
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Temporarily recompute every encoding/digest/MAC from scratch.
+
+    Used by benchmarks to measure the uncached baseline.  Nesting is safe;
+    the previous state is restored on exit.
+    """
+    global CACHES_ENABLED
+    previous = CACHES_ENABLED
+    CACHES_ENABLED = False
+    try:
+        yield
+    finally:
+        CACHES_ENABLED = previous

@@ -178,8 +178,10 @@ class ProtocolNode(Node):
         self.network.send(self.name, destination, message, size, not_before=not_before)
 
     def _apply_send_faults(self, destination: str, message: Any) -> Optional[Any]:
-        now = self.now
         injector = self.fault_injector
+        if injector.empty():
+            return message
+        now = self.now
         if injector.has_fault(self.name, FaultType.MUTE_PRIMARY, now):
             if isinstance(message, PrePrepare):
                 return None

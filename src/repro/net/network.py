@@ -17,7 +17,7 @@ from repro.sim.rng import SimRandom
 from repro.sim.scheduler import Scheduler
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """What the network delivers to a node: a message plus its provenance."""
 
@@ -89,16 +89,19 @@ class Network:
         type_name = type(message).__name__
         self.stats.record(type_name, size_bytes)
 
-        if self.conditions.is_partitioned(source, destination):
+        conditions = self.conditions
+        if conditions.partitions and conditions.is_partitioned(source, destination):
             self.stats.messages_dropped += 1
             return
-        if self.rng.chance(self.conditions.drop_probability):
+        if conditions.drop_probability and self.rng.chance(conditions.drop_probability):
             self.stats.messages_dropped += 1
             return
 
         copies = 1
-        if self.rng.chance(self.conditions.duplicate_probability):
-            copies += self.conditions.duplicate_copies
+        if conditions.duplicate_probability and self.rng.chance(
+            conditions.duplicate_probability
+        ):
+            copies += conditions.duplicate_copies
             self.stats.messages_duplicated += copies - 1
 
         for _ in range(copies):

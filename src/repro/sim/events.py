@@ -24,7 +24,7 @@ class EventKind(enum.Enum):
 _event_counter = itertools.count()
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled event.
 

@@ -79,15 +79,29 @@ class FaultInjector:
     def add(self, spec: FaultSpec) -> None:
         self._specs.setdefault(spec.node, []).append(spec)
 
+    def empty(self) -> bool:
+        """True when no fault has ever been registered (the common case on
+        the simulator's hot path)."""
+        return not self._specs
+
     def faults_for(self, node: str, now: float) -> List[FaultSpec]:
-        return [s for s in self._specs.get(node, []) if s.active_at(now)]
+        specs = self._specs.get(node)
+        if not specs:
+            return []
+        return [s for s in specs if s.active_at(now)]
 
     def has_fault(self, node: str, fault: FaultType, now: float) -> bool:
-        return any(s.fault is fault for s in self.faults_for(node, now))
+        specs = self._specs.get(node)
+        if not specs:
+            return False
+        return any(s.fault is fault and s.active_at(now) for s in specs)
 
     def get(self, node: str, fault: FaultType, now: float) -> Optional[FaultSpec]:
-        for spec in self.faults_for(node, now):
-            if spec.fault is fault:
+        specs = self._specs.get(node)
+        if not specs:
+            return None
+        for spec in specs:
+            if spec.fault is fault and spec.active_at(now):
                 return spec
         return None
 

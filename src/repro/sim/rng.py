@@ -7,6 +7,7 @@ duplicate deliveries, fault timing, workload think times) draws from a
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Sequence, TypeVar
 
@@ -30,9 +31,16 @@ class SimRandom:
         return self._seed
 
     def fork(self, label: str) -> "SimRandom":
-        """Return an independent stream derived from this one and ``label``."""
-        derived = hash((self._seed, label)) & 0x7FFFFFFFFFFFFFFF
-        return SimRandom(derived)
+        """Return an independent stream derived from this one and ``label``.
+
+        The derivation hashes with SHA-256 rather than ``hash()``: string
+        hashing is salted per process (PYTHONHASHSEED), so ``hash()`` would
+        give every process different streams and make "seeded" runs
+        unreproducible across invocations.
+        """
+        material = f"{self._seed}:{label}".encode()
+        derived = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+        return SimRandom(derived & 0x7FFFFFFFFFFFFFFF)
 
     def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)

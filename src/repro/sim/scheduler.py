@@ -3,15 +3,26 @@
 The scheduler owns the virtual clock and a priority queue of events.  It
 dispatches events in timestamp order to registered nodes until the queue is
 empty, a time limit is reached, or a stop condition becomes true.
+
+The queue stores ``(time, sequence, event)`` slots rather than bare
+:class:`Event` objects: heap sifting then compares a float and, only for
+ties, an int — never the dataclass-generated ``Event.__lt__`` — and
+same-time events break ties on the global insertion sequence, keeping
+dispatch deterministic.  The run loop pops slots directly instead of
+peeking and re-popping, so each dispatched event touches the heap once.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Optional
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventKind
+
+#: A heap slot: (time, sequence, event).
+_Slot = Tuple[float, int, Event]
 
 
 class Scheduler:
@@ -26,8 +37,9 @@ class Scheduler:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock or SimClock()
-        self._queue: list[Event] = []
+        self._queue: List[_Slot] = []
         self._nodes: Dict[str, "NodeLike"] = {}
+        self._nodes_view: Mapping[str, "NodeLike"] = MappingProxyType(self._nodes)
         self._dispatched = 0
 
     # ------------------------------------------------------------------ nodes
@@ -43,8 +55,9 @@ class Scheduler:
         return self._nodes[name]
 
     @property
-    def nodes(self) -> Dict[str, "NodeLike"]:
-        return dict(self._nodes)
+    def nodes(self) -> Mapping[str, "NodeLike"]:
+        """A live, read-only view of the registered nodes (no copy)."""
+        return self._nodes_view
 
     # ----------------------------------------------------------------- events
     def schedule(self, event: Event) -> Event:
@@ -53,7 +66,7 @@ class Scheduler:
                 f"cannot schedule event in the past: now={self.clock.now}, "
                 f"event time={event.time}"
             )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.sequence, event))
         return event
 
     def schedule_at(
@@ -79,27 +92,31 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for _t, _s, event in self._queue if not event.cancelled)
 
     @property
     def dispatched(self) -> int:
         return self._dispatched
 
     # -------------------------------------------------------------------- run
+    def _dispatch(self, event: Event) -> None:
+        self._dispatched += 1
+        if event.callback is not None:
+            event.callback()
+        else:
+            node = self._nodes.get(event.target)
+            if node is not None:
+                node.handle_event(event)
+
     def step(self) -> bool:
         """Dispatch the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self.clock.advance_to(event.time)
-            self._dispatched += 1
-            if event.callback is not None:
-                event.callback()
-            else:
-                node = self._nodes.get(event.target)
-                if node is not None:
-                    node.handle_event(event)
+            self.clock.advance_to(when)
+            self._dispatch(event)
             return True
         return False
 
@@ -117,27 +134,32 @@ class Scheduler:
         dispatched by this call.
         """
         dispatched = 0
-        while self._queue:
+        queue = self._queue
+        advance_to = self.clock.advance_to
+        pop = heapq.heappop
+        while queue:
             if stop_when is not None and stop_when():
                 break
             if max_events is not None and dispatched >= max_events:
                 break
-            # Peek without popping to honour the time limit.
-            next_event = self._peek()
-            if next_event is None:
+            event = queue[0][2]
+            if event.cancelled:
+                pop(queue)
+                continue
+            when = queue[0][0]
+            if until is not None and when > until:
+                advance_to(until)
                 break
-            if until is not None and next_event.time > until:
-                self.clock.advance_to(until)
-                break
-            if not self.step():
-                break
+            pop(queue)
+            advance_to(when)
+            self._dispatch(event)
             dispatched += 1
         return dispatched
 
     def _peek(self) -> Optional[Event]:
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        return self._queue[0][2] if self._queue else None
 
 
 class NodeLike:

@@ -21,6 +21,7 @@ data-structure work the paper describes.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -90,6 +91,12 @@ class PartitionTree:
         self._pages: Dict[int, PageRecord] = {}
         self._dirty: set[int] = set()
         self._checkpoints: Dict[int, CheckpointCopy] = {}
+        #: Checkpoint sequence numbers in ascending order, maintained so the
+        #: copy-on-write walks need no per-call sort.
+        self._checkpoint_order: List[int] = []
+        #: Leaf metadata memoized per checkpoint seq; invalidated whenever a
+        #: checkpoint is taken, discarded, or state is installed.
+        self._metadata_cache: Dict[int, Dict[int, Tuple[int, int]]] = {}
         self._last_checkpoint_seq = 0
         self._root_digest = 0
 
@@ -155,6 +162,8 @@ class PartitionTree:
         ) % _ADHASH_MODULUS
         copy = CheckpointCopy(seq=seq, root_digest=self._root_digest, pages=modified)
         self._checkpoints[seq] = copy
+        insort(self._checkpoint_order, seq)
+        self._metadata_cache.clear()
         self._last_checkpoint_seq = seq
         self._dirty.clear()
         return copy
@@ -165,9 +174,13 @@ class PartitionTree:
         Pages captured only by discarded copies are folded into the oldest
         surviving copy so page lookups keep working.
         """
-        surviving = sorted(s for s in self._checkpoints if s >= seq)
-        discarded = sorted(s for s in self._checkpoints if s < seq)
-        if not discarded or not surviving:
+        surviving = [s for s in self._checkpoint_order if s >= seq]
+        discarded = [s for s in self._checkpoint_order if s < seq]
+        if not discarded:
+            return
+        self._metadata_cache.clear()
+        self._checkpoint_order = surviving
+        if not surviving:
             for old in discarded:
                 del self._checkpoints[old]
             return
@@ -178,7 +191,7 @@ class PartitionTree:
             del self._checkpoints[old]
 
     def checkpoint_seqs(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._checkpoints))
+        return tuple(self._checkpoint_order)
 
     def root_digest(self, seq: Optional[int] = None) -> int:
         if seq is None:
@@ -188,9 +201,8 @@ class PartitionTree:
     def page_at_checkpoint(self, index: int, seq: int) -> Optional[PageRecord]:
         """The value of a page as of checkpoint ``seq`` (walking copies back
         in time, copy-on-write style)."""
-        for checkpoint_seq in sorted(self._checkpoints, reverse=True):
-            if checkpoint_seq > seq:
-                continue
+        position = bisect_right(self._checkpoint_order, seq)
+        for checkpoint_seq in reversed(self._checkpoint_order[:position]):
             record = self._checkpoints[checkpoint_seq].pages.get(index)
             if record is not None:
                 return record
@@ -206,6 +218,9 @@ class PartitionTree:
         """Leaf-level metadata at a checkpoint: page index -> (last-modified,
         digest).  This is what META-DATA replies carry during state
         transfer."""
+        cached = self._metadata_cache.get(seq)
+        if cached is not None:
+            return dict(cached)
         result: Dict[int, Tuple[int, int]] = {}
         indexes = set(self._pages)
         for copy in self._checkpoints.values():
@@ -214,7 +229,8 @@ class PartitionTree:
             record = self.page_at_checkpoint(index, seq)
             if record is not None:
                 result[index] = (record.last_modified, record.digest)
-        return result
+        self._metadata_cache[seq] = result
+        return dict(result)
 
     # ---------------------------------------------------------- state transfer
     def plan_transfer(self, source: "PartitionTree", seq: int) -> TransferPlan:
@@ -261,6 +277,7 @@ class PartitionTree:
                 digest=record.digest,
             )
             self._dirty.discard(index)
+        self._metadata_cache.clear()
         self._root_digest = _combine(r.digest for r in self._pages.values())
         return plan
 

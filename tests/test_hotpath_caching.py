@@ -1,0 +1,342 @@
+"""Correctness of the hot-path caches (memoized encodings, digests, MACs).
+
+The caches in :mod:`repro.core.messages`, :mod:`repro.crypto.mac` and
+:mod:`repro.core.auth` must be pure wall-clock optimizations: every cached
+value equals the freshly recomputed one, ``dataclasses.replace``-derived
+messages never inherit a stale cache, and authentication still rejects
+tampering.  ``hotpath.caches_disabled()`` recomputes from scratch, which is
+what the properties compare against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hotpath
+from repro.core.auth import Authentication, build_session_keys
+from repro.core.config import AuthMode, ProtocolOptions, ReplicaSetConfig
+from repro.core.messages import (
+    Checkpoint,
+    Commit,
+    Data,
+    Fetch,
+    Message,
+    MetaData,
+    NewKey,
+    NewView,
+    PrePrepare,
+    Prepare,
+    QueryStable,
+    Reply,
+    ReplyStable,
+    Request,
+    StatusActive,
+    StatusPending,
+    ViewChange,
+    ViewChangeAck,
+    PSetEntry,
+    QSetEntry,
+    pack,
+)
+from repro.crypto.digests import DIGEST_SIZE, digest
+from repro.crypto.mac import MACKey, compute_mac, verify_mac
+from repro.crypto.signatures import SignatureRegistry
+
+# --------------------------------------------------------------- strategies
+names = st.sampled_from(["replica0", "replica1", "replica2", "client0", "client1"])
+small_bytes = st.binary(max_size=48)
+digests16 = st.binary(min_size=DIGEST_SIZE, max_size=DIGEST_SIZE)
+seqs = st.integers(min_value=0, max_value=10_000)
+views = st.integers(min_value=0, max_value=64)
+
+
+requests = st.builds(
+    Request,
+    operation=small_bytes,
+    timestamp=st.integers(min_value=0, max_value=1_000),
+    client=names,
+    read_only=st.booleans(),
+    is_null=st.booleans(),
+    sender=names,
+)
+
+pre_prepares = st.builds(
+    PrePrepare,
+    view=views,
+    seq=seqs,
+    requests=st.tuples() | st.tuples(requests) | st.tuples(requests, requests),
+    separate_digests=st.lists(digests16, max_size=3).map(tuple),
+    nondet=small_bytes,
+    sender=names,
+)
+
+replies = st.builds(
+    Reply,
+    view=views,
+    timestamp=st.integers(min_value=0, max_value=1_000),
+    client=names,
+    replica=names,
+    result=st.none() | small_bytes,
+    result_digest=digests16,
+    tentative=st.booleans(),
+    sender=names,
+)
+
+view_changes = st.builds(
+    ViewChange,
+    new_view=views,
+    h=seqs,
+    checkpoints=st.lists(st.tuples(seqs, digests16), max_size=3).map(tuple),
+    prepared=st.lists(
+        st.builds(PSetEntry, seq=seqs, digest=digests16, view=views), max_size=3
+    ).map(tuple),
+    pre_prepared=st.lists(
+        st.builds(
+            QSetEntry,
+            seq=seqs,
+            digests=st.lists(st.tuples(digests16, views), max_size=2).map(tuple),
+        ),
+        max_size=3,
+    ).map(tuple),
+    replica=names,
+    sender=names,
+)
+
+simple_messages = st.one_of(
+    st.builds(Prepare, view=views, seq=seqs, digest=digests16, replica=names,
+              sender=names),
+    st.builds(Commit, view=views, seq=seqs, digest=digests16, replica=names,
+              sender=names),
+    st.builds(Checkpoint, seq=seqs, state_digest=digests16, replica=names,
+              sender=names),
+    st.builds(ViewChangeAck, new_view=views, replica=names, origin=names,
+              view_change_digest=digests16, sender=names),
+    st.builds(StatusActive, view=views, last_stable=seqs, last_executed=seqs,
+              replica=names, prepared_seqs=st.lists(seqs, max_size=4).map(tuple),
+              committed_seqs=st.lists(seqs, max_size=4).map(tuple), sender=names),
+    st.builds(StatusPending, view=views, last_stable=seqs, last_executed=seqs,
+              replica=names, has_new_view=st.booleans(),
+              view_changes_from=st.lists(names, max_size=3).map(tuple),
+              sender=names),
+    st.builds(NewKey, replica=names,
+              keys=st.lists(st.tuples(names, small_bytes), max_size=3).map(tuple),
+              counter=seqs, sender=names),
+    st.builds(QueryStable, replica=names, nonce=seqs, sender=names),
+    st.builds(ReplyStable, last_checkpoint=seqs, last_prepared=seqs,
+              replica=names, nonce=seqs, sender=names),
+    st.builds(Fetch, level=st.integers(0, 3), index=seqs, last_checkpoint=seqs,
+              target_seq=seqs, designated_replier=st.none() | names,
+              replica=names, sender=names),
+    st.builds(MetaData, seq=seqs, level=st.integers(0, 3), index=seqs,
+              entries=st.lists(st.tuples(seqs, seqs, digests16),
+                               max_size=3).map(tuple),
+              replica=names, sender=names),
+    st.builds(Data, index=seqs, last_modified=seqs, page=small_bytes,
+              sender=names),
+)
+
+all_messages = st.one_of(requests, pre_prepares, replies, view_changes,
+                         simple_messages)
+
+
+def fresh_values(message: Message) -> dict:
+    """Recompute every derived value with the caches off."""
+    with hotpath.caches_disabled():
+        values = {
+            "payload_bytes": message.payload_bytes(),
+            "payload_digest": message.payload_digest(),
+            "wire_size": message.wire_size(),
+        }
+        if isinstance(message, Request):
+            values["request_digest"] = message.request_digest()
+        if isinstance(message, PrePrepare):
+            values["batch_digest"] = message.batch_digest()
+            values["all_request_digests"] = message.all_request_digests()
+    return values
+
+
+# --------------------------------------------------------------- properties
+@settings(max_examples=200, deadline=None)
+@given(message=all_messages)
+def test_cached_values_equal_fresh_recomputation(message: Message):
+    fresh = fresh_values(message)
+    # First call populates the cache, second serves it; both must agree
+    # with the uncached recomputation.
+    for _ in range(2):
+        assert message.payload_bytes() == fresh["payload_bytes"]
+        assert message.payload_digest() == fresh["payload_digest"]
+        assert message.wire_size() == fresh["wire_size"]
+        if isinstance(message, Request):
+            assert message.request_digest() == fresh["request_digest"]
+        if isinstance(message, PrePrepare):
+            assert message.batch_digest() == fresh["batch_digest"]
+            assert message.all_request_digests() == fresh["all_request_digests"]
+    assert message.payload_digest() == digest(message.payload_bytes())
+
+
+@settings(max_examples=100, deadline=None)
+@given(request=requests, new_operation=small_bytes, new_timestamp=seqs)
+def test_replace_never_inherits_stale_request_cache(request, new_operation,
+                                                    new_timestamp):
+    # Warm every cache first.
+    request.payload_digest()
+    request.request_digest()
+    derived = dataclasses.replace(
+        request, operation=new_operation, timestamp=new_timestamp
+    )
+    twin = Request(
+        operation=new_operation,
+        timestamp=new_timestamp,
+        client=request.client,
+        read_only=request.read_only,
+        is_null=request.is_null,
+        sender=request.sender,
+    )
+    assert derived.payload_bytes() == fresh_values(twin)["payload_bytes"]
+    assert derived.payload_digest() == twin.payload_digest()
+    assert derived.request_digest() == twin.request_digest()
+
+
+@settings(max_examples=100, deadline=None)
+@given(pre_prepare=pre_prepares, new_nondet=small_bytes)
+def test_replace_never_inherits_stale_batch_cache(pre_prepare, new_nondet):
+    old_digest = pre_prepare.batch_digest()
+    pre_prepare.payload_digest()
+    derived = dataclasses.replace(pre_prepare, nondet=new_nondet)
+    assert derived.batch_digest() == fresh_values(derived)["batch_digest"]
+    if new_nondet != pre_prepare.nondet:
+        assert derived.batch_digest() != old_digest
+        assert derived.payload_digest() != pre_prepare.payload_digest()
+
+
+# ------------------------------------------------------------------ digests
+def test_digest_accepts_bytes_like_without_copy():
+    data = b"the quick brown fox"
+    assert digest(bytearray(data)) == digest(data)
+    assert digest(memoryview(data)) == digest(data)
+    with hotpath.caches_disabled():
+        assert digest(memoryview(data)) == digest(data)
+    with pytest.raises(TypeError):
+        digest("not bytes")
+
+
+def test_mac_accepts_memoryview_and_matches_modes():
+    key = MACKey(key_id=1, material=b"k" * 32)
+    data = b"payload bytes"
+    tag = compute_mac(key, data)
+    assert compute_mac(key, memoryview(data)) == tag
+    assert compute_mac(key, bytearray(data)) == tag
+    assert verify_mac(key, memoryview(data), tag)
+    with hotpath.caches_disabled():
+        assert compute_mac(key, data) == tag
+        assert verify_mac(key, data, tag)
+    assert not verify_mac(key, b"other", tag)
+
+
+# ----------------------------------------------------------- authentication
+def make_auth(owner: str, real_crypto: bool = True) -> Authentication:
+    config = ReplicaSetConfig(n=4)
+    peers = config.replica_ids + ("client0",)
+    return Authentication(
+        owner=owner,
+        mode=AuthMode.MAC,
+        keys=build_session_keys(owner, peers),
+        registry=SignatureRegistry(),
+        real_crypto=real_crypto,
+    )
+
+
+def test_multicast_tags_survive_caching_and_detect_tampering():
+    sender = make_auth("replica0")
+    receiver = make_auth("replica1")
+    message = Prepare(view=0, seq=3, digest=b"d" * 16, replica="replica0",
+                      sender="replica0")
+    sender.sign_multicast(message, ("replica1", "replica2", "replica3"))
+
+    # Verification succeeds repeatedly (second call hits the tag cache).
+    assert receiver.verify(message)
+    assert receiver.verify(message)
+
+    # The same payload signed with caches off produces identical tags.
+    reference = Prepare(view=0, seq=3, digest=b"d" * 16, replica="replica0",
+                        sender="replica0")
+    with hotpath.caches_disabled():
+        make_auth("replica0").sign_multicast(
+            reference, ("replica1", "replica2", "replica3")
+        )
+    assert reference.auth.tags == message.auth.tags
+
+    # Tampering with the payload invalidates the cached-tag verification.
+    forged = dataclasses.replace(message, seq=4)
+    forged.auth = message.auth
+    assert not receiver.verify(forged)
+
+    # Corrupted authenticator entries fail for the targeted receiver only.
+    message.auth = dataclasses.replace(message.auth,
+                                       corrupt_for=frozenset({"replica1"}))
+    assert not receiver.verify(message)
+    assert make_auth("replica2").verify(message)
+
+
+def test_point_to_point_mac_rejects_wrong_receiver_key():
+    sender = make_auth("replica0")
+    message = Reply(view=0, timestamp=1, client="client0", replica="replica0",
+                    result=b"r", result_digest=digest(b"r"), sender="replica0")
+    sender.sign_point_to_point(message, "client0")
+    client = Authentication(
+        owner="client0",
+        mode=AuthMode.MAC,
+        keys=build_session_keys("client0", ("replica0", "replica1")),
+        registry=SignatureRegistry(),
+        real_crypto=True,
+    )
+    assert client.verify(message)
+    # A different principal cannot verify a MAC addressed to client0.
+    assert not make_auth("replica2").verify(message)
+
+
+def test_retransmission_reuses_cached_tag_with_same_result():
+    sender = make_auth("replica0")
+    message = Checkpoint(seq=8, state_digest=b"s" * 16, replica="replica0",
+                         sender="replica0")
+    sender.sign_point_to_point(message, "replica1")
+    first_tag = message.auth.tag
+    sender.sign_point_to_point(message, "replica1")
+    assert message.auth.tag == first_tag
+    assert make_auth("replica1").verify(message)
+
+
+def test_wire_size_tracks_auth_reassignment():
+    sender = make_auth("replica0")
+    message = Checkpoint(seq=8, state_digest=b"s" * 16, replica="replica0",
+                         sender="replica0")
+    sender.sign_multicast(message, ("replica1", "replica2", "replica3"))
+    multicast_size = message.wire_size()
+    sender.sign_point_to_point(message, "replica1")
+    p2p_size = message.wire_size()
+    assert multicast_size != p2p_size
+    with hotpath.caches_disabled():
+        assert message.wire_size() == p2p_size
+
+
+# ------------------------------------------------------------------- toggle
+def test_caches_disabled_is_reentrant_and_restores_state():
+    assert hotpath.CACHES_ENABLED
+    with hotpath.caches_disabled():
+        assert not hotpath.CACHES_ENABLED
+        with hotpath.caches_disabled():
+            assert not hotpath.CACHES_ENABLED
+        assert not hotpath.CACHES_ENABLED
+    assert hotpath.CACHES_ENABLED
+
+
+def test_pack_matches_baseline_encoder():
+    values = ("PrePrepare", "replica0", 7, True, None, (b"\x01" * 16, 3),
+              b"bytes", ("nested", (1, 2)))
+    fast = pack(*values)
+    with hotpath.caches_disabled():
+        baseline = pack(*values)
+    assert fast == baseline

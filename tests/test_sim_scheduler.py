@@ -113,3 +113,38 @@ def test_pending_counts_uncancelled_events():
     assert scheduler.pending == 2
     event.cancel()
     assert scheduler.pending == 1
+
+
+def test_nodes_view_is_read_only():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    view = scheduler.nodes
+    with pytest.raises(TypeError):
+        view["m"] = CollectingNode()
+    with pytest.raises(TypeError):
+        del view["n"]
+
+
+def test_nodes_view_is_live_and_copy_free():
+    scheduler = Scheduler()
+    view = scheduler.nodes
+    assert scheduler.nodes is view
+    node = CollectingNode()
+    scheduler.register("n", node)
+    assert view["n"] is node
+    scheduler.unregister("n")
+    assert "n" not in view
+
+
+def test_mixed_cancelled_and_simultaneous_events_keep_order():
+    scheduler = Scheduler()
+    node = CollectingNode()
+    scheduler.register("n", node)
+    keep = [scheduler.schedule_at(5.0, EventKind.DELIVER, "n", payload=i)
+            for i in range(6)]
+    keep[1].cancel()
+    keep[4].cancel()
+    scheduler.schedule_at(1.0, EventKind.DELIVER, "n", payload="early")
+    scheduler.run()
+    assert [payload for _t, payload in node.received] == ["early", 0, 2, 3, 5]
