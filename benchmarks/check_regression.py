@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Guard the committed BENCH_*.json perf records against regressions.
+
+Two modes:
+
+* ``--smoke`` (cheap, part of the ``BENCH_SMOKE=1`` CI loop): validate the
+  *committed* records — they exist, parse, carry the expected schema, and
+  their recorded speedups meet the experiment floors.  No benchmarks run.
+* full (default): re-run the full-scale benchmarks into a scratch
+  directory (via ``BENCH_OUTPUT_DIR``/``RESULTS_OUTPUT_DIR``) and compare
+  each workload's optimized-vs-baseline wall-clock *speedup* against the
+  committed record; any relative drop larger than ``--threshold`` (default
+  20%) fails.  The speedup is the load-invariant wall-clock measure: both
+  sides of the ratio run in the same process under the same machine
+  conditions, so background load cancels out, while a change that slows
+  the optimized path shows up directly.  Absolute ops/sec (machine- and
+  load-dependent) are printed for context but not gated on.
+
+Exit status 0 means no regression; 1 means regression or a malformed
+record; 2 means the benchmark run itself failed.
+
+Examples::
+
+    python benchmarks/check_regression.py --smoke
+    python benchmarks/check_regression.py --experiment hotpath
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The speedup floors are owned by the benchmark modules; import them so the
+# smoke validation can't drift from what the benchmarks themselves enforce.
+for _path in (os.path.join(REPO_ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+import test_bench_checkpoint_pipeline as _bench_checkpoint
+import test_bench_hotpath as _bench_hotpath
+
+EXPERIMENTS = {
+    "hotpath": {
+        "record": "BENCH_hotpath.json",
+        "module": "benchmarks/test_bench_hotpath.py",
+        "speedup_floor": _bench_hotpath.FULL_SPEEDUP_FLOOR,
+        "required_workload_fragments": ["headline", "f=4", "f=6", "f=10"],
+    },
+    "checkpoint": {
+        "record": "BENCH_checkpoint.json",
+        "module": "benchmarks/test_bench_checkpoint_pipeline.py",
+        "speedup_floor": _bench_checkpoint.FULL_SPEEDUP_FLOOR,
+        "required_workload_fragments": ["headline"],
+    },
+}
+
+
+def load_record(name: str, spec: dict, base_dir: str) -> dict:
+    path = os.path.join(base_dir, spec["record"])
+    if not os.path.exists(path):
+        raise SystemExit(f"FAIL [{name}]: missing record {path}")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_schema(name: str, spec: dict, record: dict) -> list:
+    """Structural validation of one record; returns a list of problems."""
+    problems = []
+    for key in ("experiment", "headline_speedup", "macro", "generated_at"):
+        if key not in record:
+            problems.append(f"missing key {key!r}")
+    if record.get("smoke"):
+        problems.append("record was produced by a smoke run, not full scale")
+    if record.get("headline_speedup", 0) < spec["speedup_floor"]:
+        problems.append(
+            f"headline speedup {record.get('headline_speedup')}x below the "
+            f"{spec['speedup_floor']}x floor"
+        )
+    workloads = [row.get("workload", "") for row in record.get("macro", [])]
+    for fragment in spec["required_workload_fragments"]:
+        if not any(fragment in workload for workload in workloads):
+            problems.append(f"no workload matching {fragment!r} in macro rows")
+    for row in record.get("macro", []):
+        for side in ("baseline", "optimized"):
+            if "wall_ops_per_second" not in row.get(side, {}):
+                problems.append(
+                    f"workload {row.get('workload')!r} lacks {side} wall numbers"
+                )
+    return problems
+
+
+def compare(name: str, committed: dict, fresh: dict, threshold: float) -> list:
+    """Compare fresh wall-clock speedups against the committed record."""
+    regressions = []
+    committed_rows = {row["workload"]: row for row in committed.get("macro", [])}
+    for row in fresh.get("macro", []):
+        workload = row["workload"]
+        reference = committed_rows.get(workload)
+        if reference is None:
+            continue  # new workload: nothing to regress against
+        old = reference.get("speedup", 0)
+        new = row.get("speedup", 0)
+        if old <= 0:
+            continue
+        change = (new - old) / old
+        status = "OK " if change >= -threshold else "REG"
+        old_ops = reference["optimized"]["wall_ops_per_second"]
+        new_ops = row["optimized"]["wall_ops_per_second"]
+        print(f"  {status} [{name}] {workload}: speedup {old:.2f}x -> "
+              f"{new:.2f}x ({change:+.1%}); optimized {old_ops:.1f} -> "
+              f"{new_ops:.1f} ops/s")
+        if change < -threshold:
+            regressions.append((workload, old, new, change))
+    return regressions
+
+
+def run_fresh(spec: dict, out_dir: str) -> None:
+    env = dict(os.environ)
+    env["BENCH_OUTPUT_DIR"] = out_dir
+    # Keep the committed results/E*.json out of reach too: the benchmarks
+    # also write ExperimentTable rows via the results_dir fixture.
+    env["RESULTS_OUTPUT_DIR"] = out_dir
+    env.pop("BENCH_SMOKE", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")] if p
+    )
+    # No --benchmark-disable-gc: the committed records come from plain
+    # pytest runs, and disabling GC alone changes allocation-heavy
+    # workloads (the f=2 KV churn row drops ~40%) — fresh runs must match
+    # the conditions the records were produced under.
+    command = [sys.executable, "-m", "pytest", spec["module"], "-q"]
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", choices=[*EXPERIMENTS, "all"],
+                        default="all")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional wall-clock drop (default 0.20)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="validate the committed records only; run nothing")
+    args = parser.parse_args()
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed = False
+    for name in names:
+        spec = EXPERIMENTS[name]
+        committed = load_record(name, spec, REPO_ROOT)
+        problems = check_schema(name, spec, committed)
+        for problem in problems:
+            print(f"FAIL [{name}]: {problem}")
+            failed = True
+        if args.smoke or problems:
+            if not problems:
+                print(f"OK   [{name}]: committed record is well-formed "
+                      f"(headline {committed['headline_speedup']}x)")
+            continue
+        regressed: set = set()
+        for attempt in range(2):
+            with tempfile.TemporaryDirectory() as out_dir:
+                run_fresh(spec, out_dir)
+                fresh = load_record(name, spec, out_dir)
+            found = {workload for workload, *_ in
+                     compare(name, committed, fresh, args.threshold)}
+            if attempt == 0:
+                regressed = found
+                if not regressed:
+                    break
+                print(f"  retrying [{name}]: possible load spike, measuring "
+                      f"once more")
+            else:
+                # Only workloads that regressed in BOTH runs count: a
+                # single bad sample on a busy machine is noise.
+                regressed &= found
+        if regressed:
+            print(f"FAIL [{name}]: wall-clock speedup regression beyond "
+                  f"{args.threshold:.0%} in two consecutive runs: "
+                  f"{sorted(regressed)}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

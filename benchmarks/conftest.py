@@ -26,7 +26,13 @@ if _SRC not in sys.path:
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "results")
+#: Where ExperimentTable rows land; ``RESULTS_OUTPUT_DIR`` redirects them
+#: (check_regression.py points it at a scratch dir so a verification run
+#: can't clobber the committed results/E*.json).
+RESULTS_DIR = os.environ.get(
+    "RESULTS_OUTPUT_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(__file__)), "results"),
+)
 
 #: True when the suite runs in smoke mode (BENCH_SMOKE=1).
 BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() not in (

@@ -2,9 +2,12 @@
 
 from repro.bench.workloads import (
     micro_operation,
+    kv_churn_operation,
     measure_latency,
     measure_throughput,
+    preload_kv_state,
     run_closed_loop,
+    run_kv_value_churn,
     LatencyResult,
     ThroughputResult,
 )
@@ -12,9 +15,12 @@ from repro.bench.harness import ExperimentTable
 
 __all__ = [
     "micro_operation",
+    "kv_churn_operation",
     "measure_latency",
     "measure_throughput",
+    "preload_kv_state",
     "run_closed_loop",
+    "run_kv_value_churn",
     "LatencyResult",
     "ThroughputResult",
     "ExperimentTable",

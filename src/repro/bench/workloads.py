@@ -151,3 +151,57 @@ def measure_throughput(
         operations_per_client,
         lambda _c, _i: (operation, read_only),
     )
+
+
+# ------------------------------------------------------------- KV value churn
+def kv_churn_operation(
+    client_index: int,
+    op_index: int,
+    key_space: int = 64,
+    value_size: int = 2048,
+) -> Tuple[bytes, bool]:
+    """One ``SET`` of the value-churn workload: repeated overwrites of a
+    bounded key space with large values.
+
+    Deterministic in ``(client_index, op_index)`` so optimized and baseline
+    runs execute identical operation streams.  Clients stride through the
+    key space at co-prime offsets, so keys see overwrites from many clients
+    and every checkpoint interval dirties a realistic handful of pages.
+    """
+    key = b"churn%05d" % ((client_index * 7919 + op_index * 13) % key_space)
+    value = bytes([65 + (client_index + op_index) % 26]) * value_size
+    return (b"SET " + key + b" " + value, False)
+
+
+def run_kv_value_churn(
+    cluster,
+    num_clients: int,
+    operations_per_client: int,
+    key_space: int = 64,
+    value_size: int = 2048,
+) -> ThroughputResult:
+    """Closed-loop KV value churn: the heavy-state workload that exercises
+    dirty-page digests and copy-on-write checkpoints (ROADMAP workloads
+    item).  Use with ``service_factory=KeyValueStore`` and a small
+    checkpoint interval to make checkpoint cost visible."""
+    return run_closed_loop(
+        cluster,
+        num_clients,
+        operations_per_client,
+        lambda client_index, op_index: kv_churn_operation(
+            client_index, op_index, key_space=key_space, value_size=value_size
+        ),
+    )
+
+
+def preload_kv_state(
+    cluster, keys: int, value_size: int = 2048, prefix: bytes = b"warm"
+) -> None:
+    """Install a heavy baseline state directly into every replica's service
+    (bypassing the protocol), identically everywhere so checkpoint digests
+    still agree.  Gives value-churn runs a large clean-page population that
+    naive full-state digests must grind through."""
+    value = b"W" * value_size
+    for service in cluster.services.values():
+        for index in range(keys):
+            service.execute(b"SET %s%05d %s" % (prefix, index, value), "preload")

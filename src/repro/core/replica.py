@@ -56,9 +56,11 @@ from repro.core.viewchange import (
     compute_view_change_sets,
     verify_new_view,
 )
-from repro.crypto.digests import NULL_DIGEST, digest
+from repro import hotpath
+from repro.crypto.digests import DIGEST_SIZE, NULL_DIGEST, digest
 from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
 from repro.services.interface import Service
+from repro.statetransfer.partition_tree import ADHASH_MODULUS
 
 VIEW_CHANGE_TIMER = "view-change"
 STATUS_TIMER = "status"
@@ -74,13 +76,26 @@ class ReplicaStatus(enum.Enum):
 
 @dataclass
 class CheckpointSnapshot:
-    """A logical copy of the service state taken at a checkpoint."""
+    """A logical copy of the service state taken at a checkpoint.
+
+    ``service_snapshot`` is whatever the service's ``snapshot()`` returned:
+    for :class:`~repro.services.interface.PagedService` implementations a
+    refcounted copy-on-write :class:`~repro.services.interface.PageSnapshot`
+    handle, otherwise a portable deep copy.  Consumers must treat it as
+    immutable and go through ``Service.export_snapshot`` to obtain the
+    portable form (e.g. for state transfer).
+    """
 
     seq: int
     state_digest: bytes
     service_snapshot: object
     last_reply_timestamp: Dict[str, int]
     last_reply: Dict[str, Reply]
+
+
+def _reply_entry_digest(client: str, timestamp: int) -> int:
+    """AdHash contribution of one ``last_reply_timestamp`` entry."""
+    return int.from_bytes(digest(pack(client, timestamp)), "big") % ADHASH_MODULUS
 
 
 @dataclass
@@ -131,6 +146,18 @@ class Replica:
 
         self.last_reply_timestamp: Dict[str, int] = {}
         self.last_reply: Dict[str, Reply] = {}
+        #: Running AdHash over ``last_reply_timestamp`` entries, updated at
+        #: execute time so checkpoints never re-pack the whole reply table.
+        self._reply_digest = 0
+        #: Operations executed since the last checkpoint; when zero, a new
+        #: checkpoint can reuse the previous digest and snapshot outright.
+        self._executed_since_checkpoint = 0
+        #: ``service.state_version`` at the latest checkpoint.  Reuse also
+        #: requires it unchanged: out-of-band mutations (fault injection,
+        #: bench preloads) bump it, and unlike the dirty set it survives a
+        #: flush between checkpoints.
+        self._state_version_at_checkpoint = service.state_version
+        self._last_checkpoint_seq = 0
 
         self.checkpoints: Dict[int, CheckpointSnapshot] = {}
         self.stable_checkpoint_seq = 0
@@ -150,6 +177,13 @@ class Replica:
         #: Snapshot used to roll back a tentative execution aborted by a
         #: view change (Section 5.1.2).
         self._pre_tentative_snapshot: Optional[object] = None
+        #: Undo log for the reply-table side of that rollback: one
+        #: (client, previous timestamp, previous cached reply) entry per
+        #: tentatively executed request.  Without it an aborted operation
+        #: would leave ``last_reply_timestamp`` advanced, so re-executing
+        #: the same request in the new view would be skipped as a
+        #: retransmission and this replica would diverge.
+        self._tentative_undo: List[Tuple[str, Optional[int], Optional[Reply]]] = []
 
         #: Attached by the recovery manager / state transfer manager.
         self.state_transfer = None
@@ -184,8 +218,26 @@ class Replica:
         self.checkpoints[0] = snapshot
 
     def _state_digest(self) -> bytes:
-        reply_state = tuple(sorted(self.last_reply_timestamp.items()))
-        return digest(pack(self.service.state_digest(), reply_state))
+        """Digest of service state plus the reply table.
+
+        The reply-table contribution is a commutative AdHash sum, so it can
+        be maintained incrementally as replies are produced; the baseline
+        path recomputes the identical value from scratch (same formula), so
+        optimized and baseline runs produce bit-identical digests.
+        """
+        if hotpath.CACHES_ENABLED:
+            reply_sum = self._reply_digest
+        else:
+            reply_sum = self._recompute_reply_digest()
+        return digest(
+            pack(self.service.state_digest(), reply_sum.to_bytes(DIGEST_SIZE, "big"))
+        )
+
+    def _recompute_reply_digest(self) -> int:
+        total = 0
+        for client, timestamp in self.last_reply_timestamp.items():
+            total += _reply_entry_digest(client, timestamp)
+        return total % ADHASH_MODULUS
 
     # =====================================================================
     # Message entry point
@@ -501,7 +553,7 @@ class Replica:
             self.log.note_executed(slot)
             self.last_executed = seq
             self.last_tentative = max(self.last_tentative, seq)
-            self._pre_tentative_snapshot = None
+            self._drop_pre_tentative_snapshot()
             self._stop_view_change_timer_if_idle()
             if seq % self.config.checkpoint_interval == 0:
                 self._take_checkpoint(seq)
@@ -537,6 +589,16 @@ class Replica:
             self.params.execution_cost(len(request.operation), len(outcome.result))
         )
         self.metrics.requests_executed += 1
+        self._executed_since_checkpoint += 1
+        previous = self.last_reply_timestamp.get(client)
+        if tentative:
+            self._tentative_undo.append(
+                (client, previous, self.last_reply.get(client))
+            )
+        delta = _reply_entry_digest(client, request.timestamp)
+        if previous is not None:
+            delta -= _reply_entry_digest(client, previous)
+        self._reply_digest = (self._reply_digest + delta) % ADHASH_MODULUS
         self.last_reply_timestamp[client] = request.timestamp
         full_reply = self._build_reply(request, outcome.result, tentative=tentative)
         # Cache the full reply so retransmissions can always be answered with
@@ -591,15 +653,46 @@ class Replica:
     # Checkpoints and garbage collection
     # =====================================================================
     def _take_checkpoint(self, seq: int) -> None:
-        state_digest = self._state_digest()
-        snapshot = CheckpointSnapshot(
-            seq=seq,
-            state_digest=state_digest,
-            service_snapshot=self.service.snapshot(),
-            last_reply_timestamp=dict(self.last_reply_timestamp),
-            last_reply=dict(self.last_reply),
-        )
+        previous = self.checkpoints.get(self._last_checkpoint_seq)
+        if (
+            self._executed_since_checkpoint == 0
+            and previous is not None
+            and self.service.tracks_dirty_pages
+            and self.service.state_version == self._state_version_at_checkpoint
+        ):
+            # Nothing executed since the previous checkpoint (e.g. a batch
+            # of null requests or pure retransmissions) and the service's
+            # mutation counter is unchanged — no out-of-band mutation
+            # (fault injection, bench preloading) happened either, even if
+            # an intermediate flush already cleared the dirty set.  The
+            # state and the reply table are unchanged, so reuse the digest
+            # and share the snapshot instead of redoing the work.  Services
+            # that don't track dirty pages can't vouch for "unchanged", so
+            # they always recompute.
+            state_digest = previous.state_digest
+            snapshot = CheckpointSnapshot(
+                seq=seq,
+                state_digest=state_digest,
+                service_snapshot=self.service.acquire_snapshot(
+                    previous.service_snapshot
+                ),
+                last_reply_timestamp=previous.last_reply_timestamp,
+                last_reply=previous.last_reply,
+            )
+            self.env.record("checkpoint-reused", seq=seq)
+        else:
+            state_digest = self._state_digest()
+            snapshot = CheckpointSnapshot(
+                seq=seq,
+                state_digest=state_digest,
+                service_snapshot=self.service.snapshot(),
+                last_reply_timestamp=dict(self.last_reply_timestamp),
+                last_reply=dict(self.last_reply),
+            )
         self.checkpoints[seq] = snapshot
+        self._last_checkpoint_seq = seq
+        self._executed_since_checkpoint = 0
+        self._state_version_at_checkpoint = self.service.state_version
         self.metrics.checkpoints_taken += 1
         message = Checkpoint(
             seq=seq, state_digest=state_digest, replica=self.id, sender=self.id
@@ -653,6 +746,7 @@ class Replica:
         self.metrics.stable_checkpoints += 1
         self.log.collect_garbage(seq)
         for old_seq in [s for s in self.checkpoints if s < seq]:
+            self.service.release_snapshot(self.checkpoints[old_seq].service_snapshot)
             del self.checkpoints[old_seq]
         self.env.record("checkpoint-stable", seq=seq)
         if self.is_primary:
@@ -672,9 +766,11 @@ class Replica:
         last_reply_timestamp: Dict[str, int],
     ) -> None:
         """Install state fetched by the state-transfer machinery."""
+        self._drop_pre_tentative_snapshot()
         self.service.restore(service_snapshot)
         self.last_reply_timestamp = dict(last_reply_timestamp)
         self.last_reply = {}
+        self._reply_digest = self._recompute_reply_digest()
         self.last_executed = seq
         self.last_tentative = seq
         self.seqno = max(self.seqno, seq)
@@ -686,6 +782,9 @@ class Replica:
             last_reply={},
         )
         self.checkpoints[seq] = snapshot
+        self._last_checkpoint_seq = seq
+        self._executed_since_checkpoint = 0
+        self._state_version_at_checkpoint = self.service.state_version
         self.stable_checkpoint_seq = seq
         self.log.collect_garbage(seq)
         self.env.record("state-transfer-installed", seq=seq)
@@ -752,13 +851,39 @@ class Replica:
         if self.config.primary_of(target_view) == self.id:
             self._maybe_send_new_view(target_view)
 
+    def _drop_pre_tentative_snapshot(self) -> None:
+        if self._pre_tentative_snapshot is not None:
+            self.service.release_snapshot(self._pre_tentative_snapshot)
+            self._pre_tentative_snapshot = None
+        self._tentative_undo.clear()
+
     def _abort_tentative_execution(self) -> None:
         """Roll back a tentatively-executed batch that has not committed."""
         if self.last_tentative <= self.last_executed:
             return
         if self._pre_tentative_snapshot is not None:
             self.service.restore(self._pre_tentative_snapshot)
-            self._pre_tentative_snapshot = None
+        # Unwind the reply-table entries the tentative execution wrote, so
+        # the aborted operations can re-execute in the new view instead of
+        # being skipped as retransmissions (and so the incremental reply
+        # digest matches replicas that never executed tentatively).
+        for client, prev_ts, prev_reply in reversed(self._tentative_undo):
+            current = self.last_reply_timestamp.get(client)
+            delta = 0
+            if current is not None:
+                delta -= _reply_entry_digest(client, current)
+            if prev_ts is None:
+                self.last_reply_timestamp.pop(client, None)
+            else:
+                self.last_reply_timestamp[client] = prev_ts
+                delta += _reply_entry_digest(client, prev_ts)
+            self._reply_digest = (self._reply_digest + delta) % ADHASH_MODULUS
+            if prev_reply is None:
+                self.last_reply.pop(client, None)
+            else:
+                self.last_reply[client] = prev_reply
+            self._executed_since_checkpoint -= 1
+        self._drop_pre_tentative_snapshot()
         slot = self.log.existing_slot(self.last_tentative)
         if slot is not None:
             slot.executed_tentatively = False

@@ -6,15 +6,35 @@ of once per call site, and the primitives underneath (the canonical
 encoder, SHA-256 input handling, HMAC keying) run optimized
 implementations (see :mod:`repro.core.messages`,
 :mod:`repro.crypto.digests`, :mod:`repro.crypto.mac` and
-:mod:`repro.core.auth`).  None of it changes protocol behaviour or the
-modeled (charged) costs; only the real wall-clock cost of running the
-simulator.
+:mod:`repro.core.auth`).
+
+The same switch gates the incremental checkpointing pipeline:
+
+* dirty-page state digests and copy-on-write page snapshots in
+  :class:`repro.services.interface.PagedService` (off: full re-encode +
+  deep copy at every checkpoint and tentative execution);
+* the replica's incremental reply-table digest in
+  ``Replica._state_digest`` (off: from-scratch recompute — the same
+  value, bit for bit);
+* coalesced delivery trains in :class:`repro.net.network.Network` (off:
+  one scheduler heap slot per message).
+
+None of it changes protocol behaviour or the modeled (charged) costs;
+only the real wall-clock cost of running the simulator.
+
+Not part of the toggle: the replica's no-op checkpoint *reuse* (skipping
+digest/snapshot work when nothing executed and ``Service.state_version``
+is unchanged) is an unconditional fix, active in both modes.  It can only
+fire on intervals that executed nothing, which never happens in the
+closed-loop benchmark workloads, so it does not skew the measured
+baselines.
 
 ``caches_disabled`` restores the pre-optimization code paths — recompute
-every encoding/digest/MAC at every call site, with the original
-implementations — so the hot-path benchmark can measure the baseline in
+every encoding/digest/MAC at every call site, naive checkpointing,
+per-message scheduling — so the benchmarks can measure the baseline in
 the same process and report the speedup honestly
-(``benchmarks/test_bench_hotpath.py``).
+(``benchmarks/test_bench_hotpath.py`` and
+``benchmarks/test_bench_checkpoint_pipeline.py``).
 """
 
 from __future__ import annotations

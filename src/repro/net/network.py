@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Optional
 
+from repro import hotpath
 from repro.net.conditions import NetworkConditions
-from repro.sim.events import EventKind
+from repro.sim.events import Event, EventKind
 from repro.sim.rng import SimRandom
 from repro.sim.scheduler import Scheduler
 
@@ -36,6 +37,9 @@ class NetworkStats:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     bytes_sent: int = 0
+    #: Deliveries coalesced onto an existing train instead of getting their
+    #: own scheduler heap slot.
+    messages_coalesced: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
 
     def record(self, type_name: str, size_bytes: int) -> None:
@@ -45,7 +49,21 @@ class NetworkStats:
 
 
 class Network:
-    """Unreliable point-to-point and multicast message transport."""
+    """Unreliable point-to-point and multicast message transport.
+
+    Consecutive deliveries from the same sender (the all-to-all
+    prepare/commit storms, where one handler flushes a whole multicast
+    outbox back-to-back) are coalesced into a *delivery train*: the events
+    are linked through ``Event.after`` and only one of them occupies a
+    scheduler heap slot at any moment — when it fires, the next is pushed.
+    Every delivery keeps its own timestamp and globally-ordered sequence
+    number, so dispatch order (and therefore every modeled result) is
+    bit-identical to scheduling each delivery individually; only the heap
+    stays much smaller.  A train is only extended while nothing else has
+    been scheduled or dispatched in between, and never with a delivery
+    that would sort before its tail.  Disabled together with the other
+    hot-path optimizations (:mod:`repro.hotpath`) for baseline runs.
+    """
 
     def __init__(
         self,
@@ -58,6 +76,13 @@ class Network:
         self.rng = rng or SimRandom(0)
         self.stats = NetworkStats()
         self._endpoints: set[str] = set()
+        #: Tail event of the train currently being built, plus the sender
+        #: it belongs to and the scheduler activity counters at link time
+        #: (any foreign push or dispatch invalidates the train).
+        self._train_tail: Optional[Event] = None
+        self._train_source: Optional[str] = None
+        self._train_pushes = -1
+        self._train_dispatched = -1
 
     # -------------------------------------------------------------- endpoints
     def register(self, name: str) -> None:
@@ -104,6 +129,7 @@ class Network:
             copies += conditions.duplicate_copies
             self.stats.messages_duplicated += copies - 1
 
+        scheduler = self.scheduler
         for _ in range(copies):
             transit = self.conditions.transit_time(size_bytes, self.rng)
             envelope = Envelope(
@@ -113,9 +139,29 @@ class Network:
                 size_bytes=size_bytes,
                 sent_at=depart,
             )
-            self.scheduler.schedule_at(
+            event = Event.make(
                 depart + transit, EventKind.DELIVER, destination, payload=envelope
             )
+            tail = self._train_tail
+            if (
+                tail is not None
+                and hotpath.CACHES_ENABLED
+                and self._train_source == source
+                and scheduler.push_count == self._train_pushes
+                and scheduler.dispatched == self._train_dispatched
+                and event.time >= tail.time
+            ):
+                # Same sender, nothing else scheduled or dispatched since
+                # the tail, and no timestamp inversion: extend the train.
+                tail.after = event
+                self._train_tail = event
+                self.stats.messages_coalesced += 1
+            else:
+                scheduler.schedule(event)
+                self._train_tail = event
+                self._train_source = source
+                self._train_pushes = scheduler.push_count
+                self._train_dispatched = scheduler.dispatched
 
     def multicast(
         self,

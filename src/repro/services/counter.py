@@ -5,20 +5,24 @@ internally, illustrating how a BFT-replicated service with complex
 operations defends against Byzantine-faulty clients (Section 2.2):
 a faulty client cannot break the invariant because it can only interact
 through the operations.
+
+The whole state is one page (page 0), so the dirty-page machinery of
+:class:`~repro.services.interface.PagedService` reduces to "rehash iff the
+value changed since the last checkpoint".
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
-from repro.core.messages import pack
-from repro.services.interface import ExecutionResult, Service, bytes_digest
+from repro.services.interface import ExecutionResult, PagedService
 
 
-class CounterService(Service):
+class CounterService(PagedService):
     """A single non-negative counter with ``INC``, ``DEC``, ``READ`` ops."""
 
     def __init__(self, allowed_clients: Optional[Set[str]] = None) -> None:
+        super().__init__()
         self.value = 0
         self._allowed = allowed_clients
 
@@ -47,29 +51,36 @@ class CounterService(Service):
             return ExecutionResult(result=b"ERR negative-amount")
         if verb == b"INC":
             self.value += amount
+            self._touch(0)
             return ExecutionResult(result=str(self.value).encode())
         if verb == b"DEC":
             # Invariant: the counter never goes below zero.
             if self.value - amount < 0:
                 return ExecutionResult(result=b"ERR underflow")
             self.value -= amount
+            self._touch(0)
             return ExecutionResult(result=str(self.value).encode())
         return ExecutionResult(result=b"ERR bad-operation")
 
     def is_read_only(self, operation: bytes) -> bool:
         return operation.split(b" ", 1)[0].upper() == b"READ"
 
-    def snapshot(self) -> object:
+    # ----------------------------------------------------- dirty-page hooks
+    def _encode_page(self, index: int) -> bytes:
+        return str(self.value).encode()
+
+    def _page_indexes(self) -> Iterable[int]:
+        return (0,)
+
+    def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
+        return int(pages.get(0, b"0"))
+
+    def _export_state(self) -> object:
         return self.value
 
-    def restore(self, snapshot: object) -> None:
-        self.value = int(snapshot)  # type: ignore[arg-type]
-
-    def state_digest(self) -> bytes:
-        return bytes_digest(pack(self.value))
-
-    def pages(self) -> dict[int, bytes]:
-        return {0: str(self.value).encode()}
+    def _import_state(self, state: object) -> None:
+        self.value = int(state)  # type: ignore[arg-type]
 
     def corrupt(self) -> None:
         self.value = -999
+        self._touch(0)

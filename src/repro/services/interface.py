@@ -7,19 +7,57 @@ A service implements:
 * ``propose_nondet(operation, now)`` — the primary-side hook that chooses
   non-deterministic values for a batch (Section 5.4);
 * ``check_nondet(...)`` — the backup-side validity check for those values;
-* ``snapshot``/``restore`` — full-state snapshots used for checkpoints,
+* ``snapshot``/``restore`` — logical state snapshots used for checkpoints,
   tentative-execution rollback, and state transfer;
 * ``state_digest`` — a digest of the current state (checkpoint messages);
-* ``pages`` — the state as fixed-size pages for the hierarchical state
-  transfer mechanism of Section 5.3.
+* ``pages`` — the state as pages for the hierarchical state-transfer
+  mechanism of Section 5.3.
+
+Dirty-page contract (Section 5.3.1)
+-----------------------------------
+
+Services that want cheap checkpoints derive from :class:`PagedService`
+instead of implementing ``snapshot``/``restore``/``state_digest`` by hand.
+The contract is:
+
+* the service maps its state onto integer-indexed *pages* and calls
+  :meth:`PagedService._touch` with the page index on **every** mutation;
+* ``state_digest()`` then only re-encodes and re-hashes the pages touched
+  since the last digest/snapshot — the digests of clean pages live in a
+  persistent :class:`~repro.statetransfer.partition_tree.PartitionTree`
+  (content-digest mode) whose root is maintained incrementally;
+* ``snapshot()`` is a copy-on-write partition-tree checkpoint: only dirty
+  pages are captured, and the returned :class:`PageSnapshot` handle is
+  immune to later mutation of the service;
+* ``restore()`` accepts both a :class:`PageSnapshot` handle and the
+  *portable* (plain-object) form produced by :meth:`Service.export_snapshot`
+  — the portable form is what state transfer ships between replicas;
+* handles are refcounted: the replica calls
+  ``acquire_snapshot``/``release_snapshot`` as checkpoint records are
+  shared and garbage-collected, which lets the tree fold dead
+  copy-on-write copies away.
+
+Subclasses provide five small hooks — ``_encode_page``, ``_page_indexes``,
+``_state_from_pages``, ``_export_state`` and ``_import_state`` — and the
+base class supplies digesting, snapshots, restore and ``pages()``.  With
+the hot-path switch off (:mod:`repro.hotpath`), every operation falls back
+to the naive from-scratch implementation (full re-encode + deep copy) so
+benchmarks can measure the incremental pipeline against the pre-PR
+baseline; both paths produce bit-identical digests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Iterable, Optional
 
-from repro.crypto.digests import digest
+from repro import hotpath
+from repro.crypto.digests import DIGEST_SIZE, digest
+from repro.statetransfer.partition_tree import (
+    ADHASH_MODULUS,
+    PartitionTree,
+    content_page_digest,
+)
 
 
 @dataclass
@@ -36,7 +74,23 @@ class Service:
     """Base class for deterministic replicated services."""
 
     #: Page size used when exposing state to the state-transfer machinery.
+    #: For paged services this is a nominal pagination hint; logical bucket
+    #: pages may exceed it.
     page_size: int = 4096
+
+    #: True when the service faithfully reports every mutation through
+    #: ``dirty_pages()``/``state_version`` (see :class:`PagedService`); the
+    #: replica only reuses a checkpoint wholesale when it can trust this
+    #: signal.
+    tracks_dirty_pages = False
+
+    #: Monotonic mutation counter for services that track dirty pages:
+    #: bumped on every state mutation (including restores), never by
+    #: digest/snapshot work.  Unlike the dirty set — which any flush
+    #: clears — it survives intermediate ``state_digest()``/``snapshot()``
+    #: calls, so the replica compares it across checkpoint boundaries to
+    #: prove "unchanged since the last checkpoint".
+    state_version: int = 0
 
     # ------------------------------------------------------------- execution
     def execute(
@@ -76,7 +130,29 @@ class Service:
     def state_digest(self) -> bytes:
         raise NotImplementedError
 
+    def export_snapshot(self, snapshot: object) -> object:
+        """Portable (pickle-able, instance-independent) form of a snapshot.
+
+        State transfer ships this between replicas; the default assumes
+        snapshots are already portable plain objects.
+        """
+        return snapshot
+
+    def acquire_snapshot(self, snapshot: object) -> object:
+        """Take an extra reference to a snapshot (sharing it between
+        checkpoint records).  Plain-object snapshots are immutable once
+        taken, so the default just returns them."""
+        return snapshot
+
+    def release_snapshot(self, snapshot: object) -> None:
+        """Drop a reference to a snapshot so its resources can be
+        reclaimed.  No-op for plain-object snapshots."""
+
     # ------------------------------------------------------------------ pages
+    def dirty_pages(self) -> FrozenSet[int]:
+        """Page indexes touched since the last digest/snapshot flush."""
+        return frozenset()
+
     def pages(self) -> Dict[int, bytes]:
         """The service state as a sparse mapping page-index -> page bytes."""
         return {}
@@ -90,6 +166,225 @@ class Service:
         raise NotImplementedError(
             f"{type(self).__name__} does not support corruption injection"
         )
+
+
+class PageSnapshot:
+    """Opaque copy-on-write snapshot handle returned by
+    :meth:`PagedService.snapshot`.
+
+    The handle references a partition-tree checkpoint inside its owning
+    service; :meth:`materialize` resolves it to the portable state, caching
+    the result so the handle stays valid even after the owner's tree is
+    reset by a restore.
+    """
+
+    __slots__ = ("owner", "snap_id", "refs", "_portable", "_materialized")
+
+    def __init__(self, owner: "PagedService", snap_id: int) -> None:
+        self.owner = owner
+        self.snap_id = snap_id
+        self.refs = 1
+        self._portable: object = None
+        self._materialized = False
+
+    def materialize(self) -> object:
+        """The portable state captured by this snapshot (cached)."""
+        if not self._materialized:
+            self._portable = self.owner._materialize_snapshot(self.snap_id)
+            self._materialized = True
+        return self._portable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageSnapshot(id={self.snap_id}, refs={self.refs}, "
+            f"materialized={self._materialized})"
+        )
+
+
+class PagedService(Service):
+    """A service whose checkpoint machinery is incremental and page-based.
+
+    See the module docstring for the dirty-page contract.  Subclasses call
+    :meth:`_touch` on every mutation and implement the five ``_``-hooks;
+    everything else — incremental digests, copy-on-write snapshots,
+    refcounted handles, portable export and ``pages()`` — is inherited.
+    """
+
+    #: Geometry of the backing partition tree.  Pages here are logical
+    #: hash buckets whose encodings grow with the records mapped to them,
+    #: so the tree's size cap is disabled (``Service.page_size`` remains a
+    #: nominal pagination hint only).
+    tree_page_size: Optional[int] = None
+    tree_fanout: int = 256
+    tree_levels: int = 3
+
+    #: Mutations are reported through :meth:`_touch`, so the replica can
+    #: trust ``dirty_pages()``/``state_version`` when deciding to reuse a
+    #: checkpoint.
+    tracks_dirty_pages = True
+
+    def __init__(self) -> None:
+        self.state_version = 0
+        self._tree = self._new_tree()
+        self._dirty: set[int] = set()
+        #: Pages that exist at construction are only discoverable once the
+        #: subclass has initialised its state, so the dirty set is seeded
+        #: from ``_page_indexes()`` lazily, on the first flush.
+        self._dirty_seeded = False
+        self._snap_counter = 0
+        #: Live copy-on-write handles by snapshot id.
+        self._snapshots: Dict[int, PageSnapshot] = {}
+
+    def _new_tree(self) -> PartitionTree:
+        return PartitionTree(
+            page_size=self.tree_page_size,
+            fanout=self.tree_fanout,
+            levels=self.tree_levels,
+            content_digests=True,
+        )
+
+    # ----------------------------------------------------- subclass contract
+    def _encode_page(self, index: int) -> bytes:
+        """Canonical encoding of one page (``b""`` when it holds nothing)."""
+        raise NotImplementedError
+
+    def _page_indexes(self) -> Iterable[int]:
+        """Indexes of every page that currently holds content."""
+        raise NotImplementedError
+
+    def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
+        """Decode page encodings back into portable state."""
+        raise NotImplementedError
+
+    def _export_state(self) -> object:
+        """A portable copy of the current native state."""
+        raise NotImplementedError
+
+    def _import_state(self, state: object) -> None:
+        """Replace the native state with a portable copy."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- dirty tracking
+    def _touch(self, index: int) -> None:
+        self.state_version += 1
+        self._dirty.add(index)
+
+    def dirty_pages(self) -> FrozenSet[int]:
+        return frozenset(self._dirty)
+
+    def _flush(self) -> None:
+        """Re-encode the dirty pages into the tree (incremental rehash)."""
+        if not self._dirty_seeded:
+            self._dirty.update(self._page_indexes())
+            self._dirty_seeded = True
+        if not self._dirty:
+            return
+        tree = self._tree
+        for index in self._dirty:
+            tree.write_page(index, self._encode_page(index))
+        self._dirty.clear()
+
+    # ---------------------------------------------------------------- digest
+    def state_digest(self) -> bytes:
+        if hotpath.CACHES_ENABLED:
+            self._flush()
+            root = self._tree.root_digest()
+        else:
+            root = self._scratch_root()
+        return digest(root.to_bytes(DIGEST_SIZE, "big"))
+
+    def _scratch_root(self) -> int:
+        """From-scratch recompute of the root digest (baseline path; also
+        what the property tests compare the incremental value against)."""
+        total = 0
+        for index in self._page_indexes():
+            total = (total + content_page_digest(index, self._encode_page(index)))
+        return total % ADHASH_MODULUS
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self) -> object:
+        if not hotpath.CACHES_ENABLED:
+            # Baseline: the naive pre-pipeline deep copy.
+            return self._export_state()
+        self._flush()
+        self._snap_counter += 1
+        snap_id = self._snap_counter
+        self._tree.take_checkpoint(snap_id)
+        handle = PageSnapshot(self, snap_id)
+        self._snapshots[snap_id] = handle
+        return handle
+
+    def acquire_snapshot(self, snapshot: object) -> object:
+        if isinstance(snapshot, PageSnapshot) and snapshot.snap_id in self._snapshots:
+            snapshot.refs += 1
+        return snapshot
+
+    def release_snapshot(self, snapshot: object) -> None:
+        if not isinstance(snapshot, PageSnapshot):
+            return
+        live = self._snapshots.get(snapshot.snap_id)
+        if live is not snapshot:
+            # Detached by a tree reset (or foreign): nothing to reclaim.
+            return
+        snapshot.refs -= 1
+        if snapshot.refs <= 0:
+            del self._snapshots[snapshot.snap_id]
+            self._tree.discard_checkpoint(snapshot.snap_id)
+
+    def export_snapshot(self, snapshot: object) -> object:
+        if isinstance(snapshot, PageSnapshot):
+            return snapshot.materialize()
+        return snapshot
+
+    def restore(self, snapshot: object) -> None:
+        if isinstance(snapshot, PageSnapshot):
+            portable = snapshot.materialize()
+        else:
+            portable = snapshot
+        self._import_state(portable)
+        self._reset_tree()
+
+    def _materialize_snapshot(self, snap_id: int) -> object:
+        """Resolve a tree checkpoint to portable state (copy-on-write walk)."""
+        pages: Dict[int, bytes] = {}
+        for index in self._tree.known_page_indexes():
+            record = self._tree.page_at_checkpoint(index, snap_id)
+            if record is not None and record.value:
+                pages[index] = record.value
+        return self._state_from_pages(pages)
+
+    def _reset_tree(self) -> None:
+        """Discard the tree after a wholesale state replacement.
+
+        Live handles are materialized first so older checkpoint records
+        (still referenced by the replica for state-transfer serving) keep
+        working after their backing tree copies disappear.
+        """
+        for handle in self._snapshots.values():
+            handle.materialize()
+        self._snapshots.clear()
+        self._tree = self._new_tree()
+        self.state_version += 1
+        self._dirty = set(self._page_indexes())
+        self._dirty_seeded = True
+
+    # ------------------------------------------------------------------ pages
+    def pages(self) -> Dict[int, bytes]:
+        if hotpath.CACHES_ENABLED:
+            self._flush()
+            return {
+                index: value for index, value in self._tree.page_items() if value
+            }
+        result: Dict[int, bytes] = {}
+        for index in self._page_indexes():
+            encoded = self._encode_page(index)
+            if encoded:
+                result[index] = encoded
+        return result
+
+    def load_pages(self, pages: Dict[int, bytes]) -> None:
+        self._import_state(self._state_from_pages(dict(pages)))
+        self._reset_tree()
 
 
 def bytes_digest(data: bytes) -> bytes:

@@ -11,23 +11,95 @@ Operations are encoded as simple byte strings:
 The store demonstrates the paper's point about complex operations
 (Section 2.2): invariants can be enforced inside operations (CAS) rather
 than trusted to clients, which defends against Byzantine-faulty clients.
+
+State is mapped onto pages by hashing each key into one of
+``num_buckets`` buckets (a page holds the sorted records of its bucket),
+so a mutation dirties exactly one page and the incremental checkpoint
+machinery of :class:`~repro.services.interface.PagedService` only rehashes
+the touched buckets.  The bucket function (CRC-32 of the key) is
+deterministic across processes, which keeps digests replica-independent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+import zlib
+from typing import Dict, Iterable, Optional, Set
 
-from repro.core.messages import pack
-from repro.services.interface import ExecutionResult, Service, bytes_digest
+from repro.services.interface import ExecutionResult, PagedService
 
 
-class KeyValueStore(Service):
+def _encode_records(items: Iterable[tuple[bytes, bytes]]) -> bytes:
+    """Length-prefixed ``(key, value)`` records; unambiguous and compact."""
+    out = bytearray()
+    for key, value in items:
+        out += len(key).to_bytes(4, "big")
+        out += key
+        out += len(value).to_bytes(4, "big")
+        out += value
+    return bytes(out)
+
+
+def _decode_records(blob: bytes) -> Iterable[tuple[bytes, bytes]]:
+    position = 0
+    total = len(blob)
+    while position < total:
+        key_len = int.from_bytes(blob[position : position + 4], "big")
+        position += 4
+        key = blob[position : position + key_len]
+        position += key_len
+        value_len = int.from_bytes(blob[position : position + 4], "big")
+        position += 4
+        value = blob[position : position + value_len]
+        position += value_len
+        yield key, value
+
+
+class KeyValueStore(PagedService):
     """An in-memory key-value store with optional per-client access control."""
 
+    #: Number of hash buckets the key space is spread over; each bucket is
+    #: one page of the digest/snapshot machinery.  Part of the digest
+    #: definition — all replicas must agree on it.  Fine-grained so the
+    #: pages dirtied per checkpoint interval track the write working set
+    #: (few keys per bucket) rather than the whole store.
+    num_buckets: int = 4096
+    #: Nominal pagination hint; bucket encodings grow with the records
+    #: mapped to them (value-churn workloads store multi-KB values) and the
+    #: backing tree is uncapped.
+    page_size: int = 1 << 20
+
     def __init__(self, writers: Optional[Set[str]] = None) -> None:
+        super().__init__()
         self._data: Dict[bytes, bytes] = {}
+        #: Bucket index -> keys currently mapped to it.
+        self._buckets: Dict[int, Set[bytes]] = {}
         #: Clients allowed to mutate state; ``None`` means everyone.
         self._writers = writers
+
+    # ------------------------------------------------------------- buckets
+    @classmethod
+    def bucket_of(cls, key: bytes) -> int:
+        return zlib.crc32(key) % cls.num_buckets
+
+    def _store(self, key: bytes, value: bytes) -> None:
+        bucket = self.bucket_of(key)
+        if key not in self._data:
+            self._buckets.setdefault(bucket, set()).add(key)
+        self._data[key] = value
+        self._touch(bucket)
+
+    def _delete(self, key: bytes) -> bool:
+        if key not in self._data:
+            return False
+        del self._data[key]
+        bucket = self.bucket_of(key)
+        keys = self._buckets.get(bucket)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._buckets[bucket]
+        self._touch(bucket)
+        return True
 
     # ------------------------------------------------------------- execution
     def execute(
@@ -52,16 +124,15 @@ class KeyValueStore(Service):
         if not self._may_write(client):
             return ExecutionResult(result=b"ERR access-denied")
         if verb == b"SET" and len(parts) >= 3:
-            self._data[parts[1]] = b" ".join(parts[2:])
+            self._store(parts[1], b" ".join(parts[2:]))
             return ExecutionResult(result=b"OK")
         if verb == b"DEL" and len(parts) >= 2:
-            existed = parts[1] in self._data
-            self._data.pop(parts[1], None)
+            existed = self._delete(parts[1])
             return ExecutionResult(result=b"OK" if existed else b"MISSING")
         if verb == b"CAS" and len(parts) >= 4:
             current = self._data.get(parts[1])
             if current == parts[2] or (current is None and parts[2] == b"-"):
-                self._data[parts[1]] = parts[3]
+                self._store(parts[1], parts[3])
                 return ExecutionResult(result=b"OK")
             return ExecutionResult(result=b"FAIL " + (current or b"-"))
         return ExecutionResult(result=b"ERR bad-operation")
@@ -80,34 +151,32 @@ class KeyValueStore(Service):
     def size(self) -> int:
         return len(self._data)
 
-    # ------------------------------------------------------------- snapshots
-    def snapshot(self) -> object:
+    # ----------------------------------------------------- dirty-page hooks
+    def _encode_page(self, index: int) -> bytes:
+        keys = self._buckets.get(index)
+        if not keys:
+            return b""
+        return _encode_records((key, self._data[key]) for key in sorted(keys))
+
+    def _page_indexes(self) -> Iterable[int]:
+        return tuple(self._buckets)
+
+    def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
+        data: Dict[bytes, bytes] = {}
+        for blob in pages.values():
+            data.update(_decode_records(blob))
+        return data
+
+    def _export_state(self) -> object:
         return dict(self._data)
 
-    def restore(self, snapshot: object) -> None:
-        self._data = dict(snapshot)  # type: ignore[arg-type]
-
-    def state_digest(self) -> bytes:
-        encoded = pack(tuple(sorted(self._data.items())))
-        return bytes_digest(encoded)
-
-    # ------------------------------------------------------------------ pages
-    def pages(self) -> Dict[int, bytes]:
-        """Pack key/value pairs into fixed-size pages, in key order."""
-        pages: Dict[int, bytes] = {}
-        buffer = bytearray()
-        index = 0
-        for key in sorted(self._data):
-            record = pack(key, self._data[key])
-            buffer.extend(record)
-            while len(buffer) >= self.page_size:
-                pages[index] = bytes(buffer[: self.page_size])
-                del buffer[: self.page_size]
-                index += 1
-        if buffer:
-            pages[index] = bytes(buffer)
-        return pages
+    def _import_state(self, state: object) -> None:
+        self._data = dict(state)  # type: ignore[arg-type]
+        buckets: Dict[int, Set[bytes]] = {}
+        for key in self._data:
+            buckets.setdefault(self.bucket_of(key), set()).add(key)
+        self._buckets = buckets
 
     # ------------------------------------------------------------ corruption
     def corrupt(self) -> None:
-        self._data[b"__corrupted__"] = b"garbage"
+        self._store(b"__corrupted__", b"garbage")

@@ -4,14 +4,17 @@ Operations carry an argument of a configurable size and return a result of
 a configurable size; execution is a no-op apart from a counter.  The
 ``a/b`` operations in the paper (0/0, 0/4, 4/0) map to argument/result
 sizes in kilobytes.
+
+Like :class:`~repro.services.counter.CounterService`, the whole state is
+one page, so checkpoint digests only rehash when an operation actually
+executed since the last checkpoint.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable
 
-from repro.core.messages import pack
-from repro.services.interface import ExecutionResult, Service, bytes_digest
+from repro.services.interface import ExecutionResult, PagedService
 
 
 def encode_null_op(result_size: int, arg_size: int, read_only: bool = False) -> bytes:
@@ -21,10 +24,11 @@ def encode_null_op(result_size: int, arg_size: int, read_only: bool = False) -> 
     return header + b"x" * arg_size
 
 
-class NullService(Service):
+class NullService(PagedService):
     """A service whose operations do nothing but move bytes."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.operations_executed = 0
 
     # ------------------------------------------------------------- execution
@@ -38,6 +42,7 @@ class NullService(Service):
         result_size = self._result_size(operation)
         if not read_only:
             self.operations_executed += 1
+            self._touch(0)
         return ExecutionResult(result=b"r" * result_size, was_read_only=read_only)
 
     def is_read_only(self, operation: bytes) -> bool:
@@ -53,15 +58,18 @@ class NullService(Service):
         except (IndexError, ValueError):
             return 0
 
-    # ------------------------------------------------------------- snapshots
-    def snapshot(self) -> object:
+    # ----------------------------------------------------- dirty-page hooks
+    def _encode_page(self, index: int) -> bytes:
+        return str(self.operations_executed).encode()
+
+    def _page_indexes(self) -> Iterable[int]:
+        return (0,)
+
+    def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
+        return int(pages.get(0, b"0"))
+
+    def _export_state(self) -> object:
         return self.operations_executed
 
-    def restore(self, snapshot: object) -> None:
-        self.operations_executed = int(snapshot)  # type: ignore[arg-type]
-
-    def state_digest(self) -> bytes:
-        return bytes_digest(pack(self.operations_executed))
-
-    def pages(self) -> Dict[int, bytes]:
-        return {0: str(self.operations_executed).encode()}
+    def _import_state(self, state: object) -> None:
+        self.operations_executed = int(state)  # type: ignore[arg-type]

@@ -40,6 +40,11 @@ class Event:
     payload: Any = field(compare=False, default=None)
     callback: Optional[Callable[[], None]] = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    #: Next event of a coalesced delivery train (see ``Network``): it enters
+    #: the scheduler's heap only when this event leaves it, so a train of n
+    #: deliveries occupies one heap slot at a time instead of n.  The linked
+    #: event must not sort before this one.
+    after: Optional["Event"] = field(compare=False, default=None)
 
     @classmethod
     def make(

@@ -41,6 +41,7 @@ class Scheduler:
         self._nodes: Dict[str, "NodeLike"] = {}
         self._nodes_view: Mapping[str, "NodeLike"] = MappingProxyType(self._nodes)
         self._dispatched = 0
+        self._pushes = 0
 
     # ------------------------------------------------------------------ nodes
     def register(self, name: str, node: "NodeLike") -> None:
@@ -67,6 +68,7 @@ class Scheduler:
                 f"event time={event.time}"
             )
         heapq.heappush(self._queue, (event.time, event.sequence, event))
+        self._pushes += 1
         return event
 
     def schedule_at(
@@ -92,13 +94,36 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
+        """Uncancelled events currently in the heap.  Trailing members of a
+        coalesced delivery train are not counted until their predecessor
+        fires (each train occupies one heap slot at a time)."""
         return sum(1 for _t, _s, event in self._queue if not event.cancelled)
 
     @property
     def dispatched(self) -> int:
         return self._dispatched
 
+    @property
+    def push_count(self) -> int:
+        """Total number of heap pushes (used by the network to decide when a
+        delivery train can be extended without reordering dispatch)."""
+        return self._pushes
+
     # -------------------------------------------------------------------- run
+    def _push_successor(self, event: Event) -> None:
+        """Move the next member of a delivery train into the heap.
+
+        Called when ``event`` leaves the heap (dispatch or cancellation
+        skip) — before its handler runs, so dispatch order is identical to
+        scheduling every member up front."""
+        successor = event.after
+        if successor is not None:
+            event.after = None
+            heapq.heappush(
+                self._queue, (successor.time, successor.sequence, successor)
+            )
+            self._pushes += 1
+
     def _dispatch(self, event: Event) -> None:
         self._dispatched += 1
         if event.callback is not None:
@@ -113,6 +138,7 @@ class Scheduler:
         queue = self._queue
         while queue:
             when, _seq, event = heapq.heappop(queue)
+            self._push_successor(event)
             if event.cancelled:
                 continue
             self.clock.advance_to(when)
@@ -145,12 +171,14 @@ class Scheduler:
             event = queue[0][2]
             if event.cancelled:
                 pop(queue)
+                self._push_successor(event)
                 continue
             when = queue[0][0]
             if until is not None and when > until:
                 advance_to(until)
                 break
             pop(queue)
+            self._push_successor(event)
             advance_to(when)
             self._dispatch(event)
             dispatched += 1
@@ -158,7 +186,8 @@ class Scheduler:
 
     def _peek(self) -> Optional[Event]:
         while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
+            self._push_successor(event)
         return self._queue[0][2] if self._queue else None
 
 

@@ -11,11 +11,19 @@ digest can be updated incrementally when one child changes.
 Checkpoints are logical copies implemented with copy-on-write: taking a
 checkpoint records only the pages modified since the previous one.
 
-This module is deliberately self-contained: the replica-level state
-transfer ships whole snapshots (see :mod:`repro.statetransfer.transfer`),
-while the partition tree is used by the checkpoint-cost and
-state-transfer benchmarks (experiments E7 and E8) to measure the real
-data-structure work the paper describes.
+Two digest modes are supported:
+
+* the default (historical) mode hashes each page together with its
+  last-modified checkpoint number, exactly as in Section 5.3.1; it is what
+  the partition-tree benchmarks (experiments E7 and E8) measure;
+* ``content_digests=True`` hashes page contents only, so the root digest is
+  a pure function of the current state — independent of *when* pages were
+  written.  Digests and the root are maintained eagerly in
+  :meth:`write_page`, an empty page contributes nothing (writing ``b""``
+  deletes a page for digest purposes), and :meth:`take_checkpoint` only has
+  to record copy-on-write snapshots of the dirty pages.  This mode backs
+  the incremental ``state_digest``/``snapshot`` implementation of
+  :class:`repro.services.interface.PagedService`.
 """
 
 from __future__ import annotations
@@ -25,12 +33,28 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-#: Modulus used by the AdHash combination of child digests.
-_ADHASH_MODULUS = 2 ** 128 - 159
+#: Modulus used by the AdHash combination of child digests.  Public so the
+#: replica's incremental reply-table digest can reuse the same group.
+ADHASH_MODULUS = 2 ** 128 - 159
+_ADHASH_MODULUS = ADHASH_MODULUS
 
 
 def _page_digest(index: int, last_modified: int, value: bytes) -> int:
     data = f"{index}:{last_modified}:".encode() + value
+    return int.from_bytes(hashlib.sha256(data).digest()[:16], "big")
+
+
+def content_page_digest(index: int, value: bytes) -> int:
+    """Content-only page digest: a pure function of ``(index, value)``.
+
+    An empty page contributes ``0`` so that a page written and later
+    emptied is indistinguishable from one that never existed — which is
+    what makes the incremental root digest equal a from-scratch recompute
+    over only the populated pages.
+    """
+    if not value:
+        return 0
+    data = f"{index}:".encode() + value
     return int.from_bytes(hashlib.sha256(data).digest()[:16], "big")
 
 
@@ -77,17 +101,21 @@ class PartitionTree:
 
     def __init__(
         self,
-        page_size: int = 4096,
+        page_size: Optional[int] = 4096,
         fanout: int = 256,
         levels: int = 3,
+        content_digests: bool = False,
     ) -> None:
         if fanout < 2:
             raise ValueError("fanout must be at least 2")
         if levels < 2:
             raise ValueError("the tree needs at least a root and a leaf level")
+        #: ``None`` disables the size cap: content-digest trees store
+        #: variable-length logical buckets rather than fixed wire pages.
         self.page_size = page_size
         self.fanout = fanout
         self.levels = levels
+        self.content_digests = content_digests
         self._pages: Dict[int, PageRecord] = {}
         self._dirty: set[int] = set()
         self._checkpoints: Dict[int, CheckpointCopy] = {}
@@ -109,12 +137,29 @@ class PartitionTree:
     def write_page(self, index: int, value: bytes) -> None:
         if index < 0 or index >= self.capacity_pages:
             raise IndexError(f"page index {index} out of range")
-        if len(value) > self.page_size:
+        if self.page_size is not None and len(value) > self.page_size:
             raise ValueError("page value exceeds the page size")
         record = self._pages.get(index)
         if record is not None and record.value == value:
             return
         self._dirty.add(index)
+        if self.content_digests:
+            # Content mode: digests depend only on (index, value), so the
+            # page digest and the root can be maintained right here and
+            # ``take_checkpoint`` never has to rehash anything.
+            new_digest = content_page_digest(index, value)
+            if record is None:
+                self._pages[index] = PageRecord(
+                    index=index, last_modified=-1, value=value, digest=new_digest
+                )
+                self._root_digest = (self._root_digest + new_digest) % _ADHASH_MODULUS
+            else:
+                self._root_digest = (
+                    self._root_digest - record.digest + new_digest
+                ) % _ADHASH_MODULUS
+                record.value = value
+                record.digest = new_digest
+            return
         if record is None:
             self._pages[index] = PageRecord(
                 index=index, last_modified=-1, value=value, digest=0
@@ -131,6 +176,11 @@ class PartitionTree:
     def page_count(self) -> int:
         return len(self._pages)
 
+    def page_items(self) -> Iterable[Tuple[int, bytes]]:
+        """Iterate over ``(index, value)`` for every page currently stored."""
+        for index, record in self._pages.items():
+            yield index, record.value
+
     # ------------------------------------------------------------ checkpoints
     def take_checkpoint(self, seq: int) -> CheckpointCopy:
         """Create the checkpoint for sequence number ``seq``.
@@ -142,24 +192,37 @@ class PartitionTree:
         if seq <= self._last_checkpoint_seq and self._checkpoints:
             raise ValueError("checkpoint sequence numbers must increase")
         modified: Dict[int, PageRecord] = {}
-        old_digest_sum = 0
-        new_digest_sum = 0
-        for index in sorted(self._dirty):
-            record = self._pages[index]
-            old_digest_sum = (old_digest_sum + record.digest) % _ADHASH_MODULUS
-            record.last_modified = seq
-            record.digest = _page_digest(index, seq, record.value)
-            new_digest_sum = (new_digest_sum + record.digest) % _ADHASH_MODULUS
-            modified[index] = PageRecord(
-                index=index,
-                last_modified=seq,
-                value=record.value,
-                digest=record.digest,
-            )
-        # Incremental root update: subtract old page digests, add new ones.
-        self._root_digest = (
-            self._root_digest - old_digest_sum + new_digest_sum
-        ) % _ADHASH_MODULUS
+        if self.content_digests:
+            # Digests and the root are already current (maintained by
+            # write_page); only the copy-on-write capture remains.
+            for index in sorted(self._dirty):
+                record = self._pages[index]
+                record.last_modified = seq
+                modified[index] = PageRecord(
+                    index=index,
+                    last_modified=seq,
+                    value=record.value,
+                    digest=record.digest,
+                )
+        else:
+            old_digest_sum = 0
+            new_digest_sum = 0
+            for index in sorted(self._dirty):
+                record = self._pages[index]
+                old_digest_sum = (old_digest_sum + record.digest) % _ADHASH_MODULUS
+                record.last_modified = seq
+                record.digest = _page_digest(index, seq, record.value)
+                new_digest_sum = (new_digest_sum + record.digest) % _ADHASH_MODULUS
+                modified[index] = PageRecord(
+                    index=index,
+                    last_modified=seq,
+                    value=record.value,
+                    digest=record.digest,
+                )
+            # Incremental root update: subtract old page digests, add new ones.
+            self._root_digest = (
+                self._root_digest - old_digest_sum + new_digest_sum
+            ) % _ADHASH_MODULUS
         copy = CheckpointCopy(seq=seq, root_digest=self._root_digest, pages=modified)
         self._checkpoints[seq] = copy
         insort(self._checkpoint_order, seq)
@@ -190,6 +253,36 @@ class PartitionTree:
                 target.pages.setdefault(index, record)
             del self._checkpoints[old]
 
+    def discard_checkpoint(self, seq: int) -> None:
+        """Garbage-collect one specific checkpoint copy.
+
+        Pages captured only by this copy are folded into its immediate
+        successor (there is no surviving copy in between, so a lookup at any
+        later checkpoint still finds the same value).  When the copy is the
+        newest one there is no successor to fold into, but its captured
+        records are still the base layer that *future* checkpoints will
+        walk back into for pages left untouched in between — so those page
+        indexes are marked dirty, which makes the next ``take_checkpoint``
+        re-capture their current (identical) values.  In content-digest
+        mode the re-capture is digest-neutral.  Used by the refcounted
+        snapshot handles of :class:`repro.services.interface.PagedService`,
+        where snapshots are released out of order (tentative-execution
+        snapshots die young while older checkpoint snapshots live on).
+        """
+        copy = self._checkpoints.get(seq)
+        if copy is None:
+            return
+        self._metadata_cache.clear()
+        position = self._checkpoint_order.index(seq)
+        del self._checkpoint_order[position]
+        if position < len(self._checkpoint_order):
+            successor = self._checkpoints[self._checkpoint_order[position]]
+            for index, record in copy.pages.items():
+                successor.pages.setdefault(index, record)
+        else:
+            self._dirty.update(copy.pages)
+        del self._checkpoints[seq]
+
     def checkpoint_seqs(self) -> Tuple[int, ...]:
         return tuple(self._checkpoint_order)
 
@@ -213,6 +306,14 @@ class PartitionTree:
             return record
         return None
 
+    def known_page_indexes(self) -> set:
+        """Every page index the tree has a record for, in the working state
+        or in any checkpoint copy."""
+        indexes = set(self._pages)
+        for copy in self._checkpoints.values():
+            indexes.update(copy.pages)
+        return indexes
+
     # -------------------------------------------------------- partition meta
     def metadata_at_checkpoint(self, seq: int) -> Dict[int, Tuple[int, int]]:
         """Leaf-level metadata at a checkpoint: page index -> (last-modified,
@@ -222,10 +323,7 @@ class PartitionTree:
         if cached is not None:
             return dict(cached)
         result: Dict[int, Tuple[int, int]] = {}
-        indexes = set(self._pages)
-        for copy in self._checkpoints.values():
-            indexes.update(copy.pages)
-        for index in indexes:
+        for index in self.known_page_indexes():
             record = self.page_at_checkpoint(index, seq)
             if record is not None:
                 result[index] = (record.last_modified, record.digest)

@@ -89,11 +89,14 @@ class StateTransferManager:
             return
         seq = max(candidates)
         snapshot = replica.checkpoints[seq]
+        # Copy-on-write snapshot handles are instance-local; ship the
+        # portable (materialized) form across the wire.
+        portable = replica.service.export_snapshot(snapshot.service_snapshot)
         blob = pickle.dumps(
             {
                 "seq": seq,
                 "state_digest": snapshot.state_digest,
-                "service_snapshot": snapshot.service_snapshot,
+                "service_snapshot": portable,
                 "last_reply_timestamp": snapshot.last_reply_timestamp,
             }
         )
