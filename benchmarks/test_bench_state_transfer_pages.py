@@ -1,0 +1,236 @@
+"""E15 — recovery bandwidth of hierarchical page-level state transfer.
+
+A replica is partitioned away while the others execute a mixed read/write
+workload (``run_kv_mixed``) over a store preloaded with a large clean
+state, so only a bounded fraction of the pages is dirty when the partition
+heals.  The healed replica learns of a stable checkpoint beyond its water
+mark and fetches state; the experiment measures what that recovery costs —
+bytes fetched, fetch/metadata messages, and simulated recovery time — with
+the hierarchical page-level protocol (this PR) against the whole-snapshot
+baseline (``repro.hotpath.page_transfer_disabled()``).
+
+Both protocols run the *identical* deterministic workload, so the ratios
+are modeled, machine-independent quantities: ``check_regression.py`` gates
+on the bytes ratio without any retry slack.  The page protocol is also run
+a second time with the simulator's hot-path caches disabled
+(``hotpath.caches_disabled()``) and every modeled number must come out
+bit-identical — the cache toggle changes how fast the simulator runs, never
+what the protocol does.
+
+Results go to ``BENCH_statetransfer.json`` at the repository root
+(full-scale runs only) and a summary table to ``results/E15.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import hotpath
+from repro.bench import ExperimentTable, preload_kv_state, run_kv_mixed
+from repro.library import BFTCluster
+from repro.services.kvstore import KeyValueStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(
+    os.environ.get("BENCH_OUTPUT_DIR", REPO_ROOT), "BENCH_statetransfer.json"
+)
+
+#: Required bytes ratio (whole-snapshot / page-level) on the headline
+#: workload, where at most ~10% of the pages are dirty.
+FULL_BYTES_RATIO_FLOOR = 5.0
+#: Smoke states are tiny, so fixed metadata overheads weigh more.
+SMOKE_BYTES_RATIO_FLOOR = 2.0
+
+LAGGING = "replica3"
+
+
+def _recovery_run(
+    preload_keys: int,
+    value_size: int,
+    churn_clients: int,
+    churn_ops: int,
+    churn_key_space: int,
+    read_fraction: float,
+    checkpoint_interval: int,
+) -> dict:
+    """One deterministic partition/churn/heal/recover scenario."""
+    cluster = BFTCluster.create(
+        f=1,
+        service_factory=KeyValueStore,
+        checkpoint_interval=checkpoint_interval,
+    )
+    client = cluster.new_client()
+    wall_start = time.perf_counter()
+    preload_kv_state(cluster, keys=preload_keys, value_size=value_size)
+    for other in ("replica0", "replica1", "replica2", client.id):
+        cluster.conditions.partition(LAGGING, other)
+    churn = run_kv_mixed(
+        cluster,
+        churn_clients,
+        churn_ops,
+        read_fraction=read_fraction,
+        key_space=churn_key_space,
+        value_size=value_size,
+    )
+    cluster.conditions.heal_all()
+    # Post-heal traffic crosses the next checkpoint interval, whose
+    # CHECKPOINT certificate is what tells the healed replica to fetch.
+    for index in range(2 * checkpoint_interval):
+        client.invoke(b"SET heal%03d done" % index)
+    lagging = cluster.replicas[LAGGING]
+    for _ in range(20):
+        if lagging.state_transfer.metrics.transfers_completed >= 1:
+            break
+        cluster.run(duration=2_000_000)
+    wall = time.perf_counter() - wall_start
+
+    metrics = lagging.state_transfer.metrics
+    digests = {
+        replica.checkpoints[replica.stable_checkpoint_seq].state_digest
+        for replica in cluster.replicas.values()
+        if replica.stable_checkpoint_seq in replica.checkpoints
+    }
+    populated_pages = len(cluster.replicas["replica0"].service.page_digests())
+    return {
+        "churn_completed": churn.completed,
+        "bytes_fetched": metrics.bytes_fetched,
+        "fetch_messages": metrics.fetch_messages,
+        "metadata_messages": metrics.metadata_messages,
+        "pages_fetched": metrics.pages_fetched,
+        "pages_skipped_local": metrics.pages_skipped_local,
+        "transfers_completed": metrics.transfers_completed,
+        "recovery_sim_us": round(metrics.last_transfer_duration, 3),
+        "stable_checkpoint": lagging.stable_checkpoint_seq,
+        "stable_digest_converged": len(digests) == 1,
+        "populated_pages": populated_pages,
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def _modeled_view(run: dict) -> dict:
+    """The machine-independent subset of a run record (what must be
+    bit-identical across simulator cache modes)."""
+    return {key: value for key, value in run.items() if key != "wall_seconds"}
+
+
+def _workloads(scale, smoke: bool):
+    workloads = [
+        {
+            # ~64 dirty buckets over ~1600 populated: ~4% dirty (headline).
+            "name": "f=1 KV recovery, ~4% pages dirty (headline)",
+            "preload_keys": scale(2048, 96),
+            "value_size": scale(1024, 256),
+            "churn_clients": scale(4, 2),
+            "churn_ops": scale(40, 8),
+            "churn_key_space": scale(64, 8),
+            "read_fraction": 0.5,
+            "checkpoint_interval": 4,
+        },
+    ]
+    if not smoke:
+        workloads.append(
+            {
+                # ~384 dirty buckets over ~1600 populated: ~20% dirty —
+                # shows how the win shrinks as divergence grows.
+                "name": "f=1 KV recovery, ~20% pages dirty",
+                "preload_keys": 2048,
+                "value_size": 1024,
+                "churn_clients": 4,
+                "churn_ops": 120,
+                "churn_key_space": 384,
+                "read_fraction": 0.5,
+                "checkpoint_interval": 4,
+            }
+        )
+    return workloads
+
+
+def _measure_row(workload: dict, check_cache_modes: bool) -> dict:
+    workload = dict(workload)
+    name = workload.pop("name")
+    with hotpath.page_transfer_disabled():
+        baseline = _recovery_run(**workload)
+    optimized = _recovery_run(**workload)
+    identical = None
+    if check_cache_modes:
+        with hotpath.caches_disabled():
+            uncached = _recovery_run(**workload)
+        identical = _modeled_view(uncached) == _modeled_view(optimized)
+    row = {
+        "workload": name,
+        **workload,
+        "baseline": baseline,
+        "optimized": optimized,
+        "bytes_ratio": round(
+            baseline["bytes_fetched"] / max(1, optimized["bytes_fetched"]), 2
+        ),
+        "message_ratio": round(
+            max(1, baseline["fetch_messages"])
+            / max(1, optimized["fetch_messages"] + optimized["metadata_messages"]),
+            3,
+        ),
+        "recovery_time_ratio": round(
+            baseline["recovery_sim_us"] / max(1.0, optimized["recovery_sim_us"]), 2
+        ),
+    }
+    if identical is not None:
+        row["identical_across_cache_modes"] = identical
+    return row
+
+
+def run_experiment(smoke: bool, scale) -> dict:
+    macro = []
+    for index, workload in enumerate(_workloads(scale, smoke)):
+        macro.append(_measure_row(workload, check_cache_modes=index == 0))
+    headline = macro[0]
+    return {
+        "experiment": "state-transfer-pages",
+        "smoke": smoke,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "headline_workload": headline["workload"],
+        "headline_bytes_ratio": headline["bytes_ratio"],
+        "macro": macro,
+    }
+
+
+def test_state_transfer_page_bandwidth(benchmark, results_dir, bench_smoke, bench_scale):
+    report = benchmark.pedantic(
+        run_experiment, args=(bench_smoke, bench_scale), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        "E15", "Recovery bandwidth: page-level vs whole-snapshot state transfer"
+    )
+    for row in report["macro"]:
+        table.add_row(
+            workload=row["workload"],
+            baseline_bytes=row["baseline"]["bytes_fetched"],
+            optimized_bytes=row["optimized"]["bytes_fetched"],
+            bytes_ratio=row["bytes_ratio"],
+            recovery_time_ratio=row["recovery_time_ratio"],
+        )
+    table.print()
+    table.save(results_dir)
+
+    if not bench_smoke:
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+
+    for row in report["macro"]:
+        # Every scenario must actually recover, via a transfer, to the same
+        # stable digest the rest of the cluster holds.
+        for side in ("baseline", "optimized"):
+            assert row[side]["transfers_completed"] >= 1, (side, row["workload"])
+            assert row[side]["stable_digest_converged"], (side, row["workload"])
+        assert row["optimized"]["pages_fetched"] > 0
+        assert row["baseline"]["pages_fetched"] == 0
+    # The simulator cache toggle must not change any modeled number.
+    assert report["macro"][0]["identical_across_cache_modes"]
+
+    floor = SMOKE_BYTES_RATIO_FLOOR if bench_smoke else FULL_BYTES_RATIO_FLOOR
+    assert report["headline_bytes_ratio"] >= floor, (
+        f"page-level transfer bytes ratio {report['headline_bytes_ratio']}x "
+        f"below {floor}x (see {BENCH_PATH})"
+    )

@@ -3,10 +3,12 @@
 from repro.bench.workloads import (
     micro_operation,
     kv_churn_operation,
+    kv_mixed_operation,
     measure_latency,
     measure_throughput,
     preload_kv_state,
     run_closed_loop,
+    run_kv_mixed,
     run_kv_value_churn,
     LatencyResult,
     ThroughputResult,
@@ -16,10 +18,12 @@ from repro.bench.harness import ExperimentTable
 __all__ = [
     "micro_operation",
     "kv_churn_operation",
+    "kv_mixed_operation",
     "measure_latency",
     "measure_throughput",
     "preload_kv_state",
     "run_closed_loop",
+    "run_kv_mixed",
     "run_kv_value_churn",
     "LatencyResult",
     "ThroughputResult",

@@ -194,6 +194,60 @@ def run_kv_value_churn(
     )
 
 
+# --------------------------------------------------------- mixed read/write
+def kv_mixed_operation(
+    client_index: int,
+    op_index: int,
+    read_fraction: float = 0.5,
+    key_space: int = 64,
+    value_size: int = 2048,
+) -> Tuple[bytes, bool]:
+    """One operation of the mixed read/write workload: a ``GET`` (read-only
+    path) with probability ``read_fraction``, otherwise a value-churn
+    ``SET``.  Deterministic in ``(client_index, op_index)`` — the "coin" is
+    a fixed linear-congruential roll — so optimized and baseline runs
+    execute identical streams."""
+    roll = (client_index * 7919 + op_index * 104729) % 1000
+    if roll < int(read_fraction * 1000):
+        key = b"churn%05d" % ((client_index * 13 + op_index * 7919) % key_space)
+        return (b"GET " + key, True)
+    return kv_churn_operation(
+        client_index, op_index, key_space=key_space, value_size=value_size
+    )
+
+
+def run_kv_mixed(
+    cluster,
+    num_clients: int,
+    operations_per_client: int,
+    read_fraction: float = 0.5,
+    key_space: int = 64,
+    value_size: int = 2048,
+) -> ThroughputResult:
+    """Closed-loop mixed read/write KV workload (ROADMAP workloads item).
+
+    ``read_fraction`` of the operations are ``GET``\\ s served through the
+    read-only optimization; the rest are value-churn ``SET``\\ s over
+    ``key_space`` keys.  Because reads dirty nothing, the write working set
+    (and so the number of dirty pages per checkpoint interval) is bounded
+    by ``key_space`` regardless of the total operation count — which is
+    how the recovery-bandwidth benchmark (E15) sizes its churn phase to a
+    chosen dirty-page fraction.
+    """
+    return run_closed_loop(
+        cluster,
+        num_clients,
+        operations_per_client,
+        lambda client_index, op_index: kv_mixed_operation(
+            client_index,
+            op_index,
+            read_fraction=read_fraction,
+            key_space=key_space,
+            value_size=value_size,
+        ),
+    )
+
+
 def preload_kv_state(
     cluster, keys: int, value_size: int = 2048, prefix: bytes = b"warm"
 ) -> None:

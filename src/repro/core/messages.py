@@ -664,7 +664,11 @@ class Fetch(Message):
 
     ``last_checkpoint`` is the latest checkpoint the sender knows for the
     partition; ``target_seq``/``designated_replier`` ask a specific replica
-    for the value at a specific checkpoint.
+    for the value at a specific checkpoint.  ``hierarchical`` selects the
+    page-level protocol of Section 5.3.2: the receiver answers an interior
+    partition with a META-DATA reply (sub-partition digests) and a leaf
+    with a single-page DATA reply, instead of the legacy whole-snapshot
+    blob.
     """
 
     level: int = 0
@@ -673,6 +677,7 @@ class Fetch(Message):
     target_seq: int = -1
     designated_replier: Optional[str] = None
     replica: str = ""
+    hierarchical: bool = False
 
     def payload_fields(self) -> Tuple[Any, ...]:
         return (
@@ -682,6 +687,7 @@ class Fetch(Message):
             self.target_seq,
             self.designated_replier or "",
             self.replica,
+            self.hierarchical,
         )
 
     def body_size(self) -> int:
@@ -691,7 +697,15 @@ class Fetch(Message):
 @dataclass
 class MetaData(Message):
     """Meta-data reply: digests of the sub-partitions of a partition at a
-    checkpoint (META-DATA, c, l, i, {(x, lm, d)}, j)."""
+    checkpoint (META-DATA, c, l, i, {(x, lm, d)}, j).
+
+    During hierarchical state transfer the root-level (level 0) reply also
+    carries ``reply_timestamps`` — the checkpoint's ``last_reply_timestamp``
+    table — because the certified checkpoint digest covers the service
+    state *and* the reply table: the fetcher recombines both and checks the
+    result against the stable-certificate digest, which proves every
+    sub-partition digest in the reply without trusting the sender.
+    """
 
     seq: int = 0
     level: int = 0
@@ -699,27 +713,43 @@ class MetaData(Message):
     #: (sub-partition index, last-modified seq, digest) triples.
     entries: Tuple[Tuple[int, int, bytes], ...] = ()
     replica: str = ""
+    #: Sorted (client, timestamp) pairs of the checkpoint's reply table;
+    #: only populated on level-0 replies.
+    reply_timestamps: Tuple[Tuple[str, int], ...] = ()
 
     def payload_fields(self) -> Tuple[Any, ...]:
-        return (self.seq, self.level, self.index, tuple(self.entries), self.replica)
+        return (
+            self.seq,
+            self.level,
+            self.index,
+            tuple(self.entries),
+            self.replica,
+            tuple(self.reply_timestamps),
+        )
 
     def body_size(self) -> int:
-        return 32 + 28 * len(self.entries)
+        return 32 + 28 * len(self.entries) + 16 * len(self.reply_timestamps)
 
 
 @dataclass
 class Data(Message):
-    """A page of state (DATA, i, lm, p)."""
+    """A page of state (DATA, i, lm, p).
+
+    ``seq`` names the checkpoint the page belongs to (hierarchical
+    transfers fetch pages of one specific certified checkpoint; the legacy
+    whole-snapshot path encodes the sequence number inside the blob).
+    """
 
     index: int = 0
     last_modified: int = 0
     page: bytes = b""
+    seq: int = 0
 
     def payload_fields(self) -> Tuple[Any, ...]:
-        return (self.index, self.last_modified, self.page)
+        return (self.index, self.last_modified, self.page, self.seq)
 
     def body_size(self) -> int:
-        return 16 + len(self.page)
+        return 24 + len(self.page)
 
 
 # Names exported for the benefit of ``from messages import *`` in tests.

@@ -47,7 +47,6 @@ from repro.core.messages import (
     StatusPending,
     ViewChange,
     ViewChangeAck,
-    pack,
 )
 from repro.core.viewchange import (
     NewViewDecision,
@@ -57,10 +56,15 @@ from repro.core.viewchange import (
     verify_new_view,
 )
 from repro import hotpath
-from repro.crypto.digests import DIGEST_SIZE, NULL_DIGEST, digest
+from repro.crypto.digests import NULL_DIGEST, digest
 from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
 from repro.services.interface import Service
-from repro.statetransfer.partition_tree import ADHASH_MODULUS
+from repro.statetransfer.partition_tree import ADHASH_MODULUS, content_page_digest
+from repro.statetransfer.transfer import (
+    combined_state_digest,
+    reply_entry_digest as _reply_entry_digest,
+    service_root_digest,
+)
 
 VIEW_CHANGE_TIMER = "view-change"
 STATUS_TIMER = "status"
@@ -93,9 +97,10 @@ class CheckpointSnapshot:
     last_reply: Dict[str, Reply]
 
 
-def _reply_entry_digest(client: str, timestamp: int) -> int:
-    """AdHash contribution of one ``last_reply_timestamp`` entry."""
-    return int.from_bytes(digest(pack(client, timestamp)), "big") % ADHASH_MODULUS
+# The AdHash contribution of one ``last_reply_timestamp`` entry is defined
+# in repro.statetransfer.transfer (imported above as ``_reply_entry_digest``)
+# so the transfer fetcher verifies root META-DATA replies with the exact
+# formula the replica digests its reply table with.
 
 
 @dataclass
@@ -229,9 +234,7 @@ class Replica:
             reply_sum = self._reply_digest
         else:
             reply_sum = self._recompute_reply_digest()
-        return digest(
-            pack(self.service.state_digest(), reply_sum.to_bytes(DIGEST_SIZE, "big"))
-        )
+        return combined_state_digest(self.service.state_digest(), reply_sum)
 
     def _recompute_reply_digest(self) -> int:
         total = 0
@@ -295,6 +298,10 @@ class Replica:
         if label == VIEW_CHANGE_TIMER:
             self._on_view_change_timeout()
         elif label == STATUS_TIMER:
+            if self.state_transfer is not None:
+                # Retry hook for hierarchical state transfer: re-issues
+                # requests a crashed or faulty sender never answered.
+                self.state_transfer.tick()
             self._send_status()
             self.env.set_timer(STATUS_TIMER, self.config.status_interval)
         elif label == KEY_REFRESH_TIMER and self.recovery is not None:
@@ -764,16 +771,89 @@ class Replica:
         state_digest: bytes,
         service_snapshot: object,
         last_reply_timestamp: Dict[str, int],
-    ) -> None:
-        """Install state fetched by the state-transfer machinery."""
+    ) -> bool:
+        """Install a whole snapshot fetched by the state-transfer machinery.
+
+        The snapshot *content* is what gets verified against the certified
+        digest, not a digest field the sender controls.  For paged
+        services the combined digest is computable from the portable form
+        alone, so a forged blob is refused before it can touch live state;
+        for other services the state is restored first and rejected after
+        the fact (watermarks and checkpoints stay untouched either way, so
+        a later reply from an honest sender can still install).
+        """
+        if getattr(self.service, "supports_page_transfer", False):
+            pages = self.service._pages_from_portable(service_snapshot)
+            root = 0
+            for index, value in pages.items():
+                if value:
+                    root = (root + content_page_digest(index, value)) % ADHASH_MODULUS
+            reply_sum = 0
+            for client, timestamp in last_reply_timestamp.items():
+                reply_sum = (
+                    reply_sum + _reply_entry_digest(client, timestamp)
+                ) % ADHASH_MODULUS
+            if combined_state_digest(service_root_digest(root), reply_sum) != state_digest:
+                self.env.record("state-transfer-digest-mismatch", seq=seq)
+                return False
         self._drop_pre_tentative_snapshot()
         self.service.restore(service_snapshot)
         self.last_reply_timestamp = dict(last_reply_timestamp)
         self.last_reply = {}
         self._reply_digest = self._recompute_reply_digest()
+        if self._state_digest() != state_digest:
+            self.env.record("state-transfer-digest-mismatch", seq=seq)
+            return False
         self.last_executed = seq
         self.last_tentative = seq
         self.seqno = max(self.seqno, seq)
+        self._adopt_fetched_checkpoint(seq, state_digest, last_reply_timestamp)
+        self.env.record("state-transfer-installed", seq=seq)
+        return True
+
+    def install_fetched_pages(
+        self,
+        seq: int,
+        state_digest: bytes,
+        updates: Dict[int, bytes],
+        removals,
+        last_reply_timestamp: Dict[str, int],
+    ) -> bool:
+        """Install state assembled page by page by the hierarchical state
+        transfer (Section 5.3.2).
+
+        Only the pages named in ``updates``/``removals`` are touched — the
+        fetcher proved every other local page already matches the target.
+        The combined digest of the resulting state is checked against the
+        certified checkpoint digest; on a mismatch the checkpoint is not
+        adopted and ``False`` is returned (the transfer manager restarts
+        and re-diffs against the now-current pages).
+        """
+        self._drop_pre_tentative_snapshot()
+        self.service.install_pages(updates, removals)
+        self.last_reply_timestamp = dict(last_reply_timestamp)
+        self.last_reply = {}
+        self._reply_digest = self._recompute_reply_digest()
+        if self._state_digest() != state_digest:
+            self.env.record("state-transfer-digest-mismatch", seq=seq)
+            return False
+        self.last_executed = seq
+        self.last_tentative = seq
+        self.seqno = max(self.seqno, seq)
+        self._adopt_fetched_checkpoint(seq, state_digest, last_reply_timestamp)
+        self.env.record(
+            "state-transfer-installed", seq=seq, pages=len(updates)
+        )
+        return True
+
+    def _adopt_fetched_checkpoint(
+        self, seq: int, state_digest: bytes, last_reply_timestamp: Dict[str, int]
+    ) -> None:
+        existing = self.checkpoints.get(seq)
+        if existing is not None:
+            # Re-fetch of a checkpoint we already held (recovery replacing
+            # a corrupt copy): release the stale snapshot handle.
+            self.service.release_snapshot(existing.service_snapshot)
         snapshot = CheckpointSnapshot(
             seq=seq,
             state_digest=state_digest,
@@ -787,7 +867,6 @@ class Replica:
         self._state_version_at_checkpoint = self.service.state_version
         self.stable_checkpoint_seq = seq
         self.log.collect_garbage(seq)
-        self.env.record("state-transfer-installed", seq=seq)
 
     # =====================================================================
     # View changes

@@ -232,10 +232,11 @@ class RecoveryManager:
                 corrupt = True
         if corrupt and expected is not None:
             record.state_was_corrupt = True
-            replica._request_state_transfer(stable_seq + 1, expected)
-            # Also refetch the stable checkpoint itself.
-            replica.state_transfer.target_seq = None
-            replica.state_transfer.start(stable_seq, expected)
+            # Refetch the stable checkpoint whose local copy proved corrupt.
+            # ``restart`` forces a fresh transfer even though the checkpoint
+            # is already stable locally; with page-level transfer the digest
+            # diff then moves only the corrupted pages.
+            replica.state_transfer.restart(stable_seq, expected)
 
         self._maybe_complete()
 

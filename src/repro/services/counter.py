@@ -75,11 +75,17 @@ class CounterService(PagedService):
     def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
         return int(pages.get(0, b"0"))
 
+    def _pages_from_portable(self, state: object) -> Dict[int, bytes]:
+        return {0: str(int(state)).encode()}  # type: ignore[arg-type]
+
     def _export_state(self) -> object:
         return self.value
 
     def _import_state(self, state: object) -> None:
         self.value = int(state)  # type: ignore[arg-type]
+
+    def _import_page(self, index: int, value: bytes) -> None:
+        self.value = int(value or b"0")
 
     def corrupt(self) -> None:
         self.value = -999

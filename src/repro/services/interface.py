@@ -44,20 +44,40 @@ the hot-path switch off (:mod:`repro.hotpath`), every operation falls back
 to the naive from-scratch implementation (full re-encode + deep copy) so
 benchmarks can measure the incremental pipeline against the pre-PR
 baseline; both paths produce bit-identical digests.
+
+Page-level state transfer (Section 5.3.2)
+-----------------------------------------
+
+Paged services additionally export their state *page by page* so the
+hierarchical transfer protocol can move only the pages that differ:
+
+* :meth:`PagedService.page_digests` — the current per-page content digests
+  (what the fetcher diffs proven META-DATA entries against);
+* :meth:`PagedService.snapshot_pages` — the page encodings of a checkpoint
+  snapshot (what a replica serves FETCH requests from), read straight from
+  the content-digest partition tree when the snapshot is a live
+  copy-on-write handle and re-encoded from the portable state otherwise —
+  both forms are byte-identical, so senders running with caches disabled
+  put the same messages on the wire;
+* :meth:`PagedService.import_page` / :meth:`PagedService.install_pages` —
+  install fetched pages *individually* (two extra subclass hooks,
+  ``_import_page`` and ``_pages_from_portable``), so a transfer replaces
+  only out-of-date pages instead of rebuilding the whole state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro import hotpath
-from repro.crypto.digests import DIGEST_SIZE, digest
+from repro.crypto.digests import digest
 from repro.statetransfer.partition_tree import (
     ADHASH_MODULUS,
     PartitionTree,
     content_page_digest,
 )
+from repro.statetransfer.transfer import service_root_digest
 
 
 @dataclass
@@ -83,6 +103,12 @@ class Service:
     #: replica only reuses a checkpoint wholesale when it can trust this
     #: signal.
     tracks_dirty_pages = False
+
+    #: True when the service supports the page-level export/import API
+    #: (``page_digests``/``snapshot_pages``/``install_pages``) that the
+    #: hierarchical state-transfer protocol needs; services without it fall
+    #: back to whole-snapshot transfer.
+    supports_page_transfer = False
 
     #: Monotonic mutation counter for services that track dirty pages:
     #: bumped on every state mutation (including restores), never by
@@ -223,6 +249,10 @@ class PagedService(Service):
     #: checkpoint.
     tracks_dirty_pages = True
 
+    #: Pages (and their content digests) are exportable and importable one
+    #: at a time, which is what hierarchical state transfer fetches.
+    supports_page_transfer = True
+
     def __init__(self) -> None:
         self.state_version = 0
         self._tree = self._new_tree()
@@ -264,6 +294,19 @@ class PagedService(Service):
         """Replace the native state with a portable copy."""
         raise NotImplementedError
 
+    def _import_page(self, index: int, value: bytes) -> None:
+        """Replace the native content of one page with the decoded form of
+        ``value``; ``b""`` empties the page.  Must not call ``_touch`` —
+        the :meth:`import_page` wrapper does."""
+        raise NotImplementedError
+
+    def _pages_from_portable(self, state: object) -> Dict[int, bytes]:
+        """Encode a portable state copy (what ``export_snapshot`` returns)
+        into pages.  Must produce exactly the bytes ``_encode_page`` would
+        produce after importing ``state`` — state transfer relies on the
+        two encodings being identical."""
+        raise NotImplementedError
+
     # --------------------------------------------------------- dirty tracking
     def _touch(self, index: int) -> None:
         self.state_version += 1
@@ -291,7 +334,7 @@ class PagedService(Service):
             root = self._tree.root_digest()
         else:
             root = self._scratch_root()
-        return digest(root.to_bytes(DIGEST_SIZE, "big"))
+        return service_root_digest(root)
 
     def _scratch_root(self) -> int:
         """From-scratch recompute of the root digest (baseline path; also
@@ -344,14 +387,19 @@ class PagedService(Service):
         self._import_state(portable)
         self._reset_tree()
 
-    def _materialize_snapshot(self, snap_id: int) -> object:
-        """Resolve a tree checkpoint to portable state (copy-on-write walk)."""
+    def _checkpoint_page_map(self, snap_id: int) -> Dict[int, bytes]:
+        """The non-empty page encodings of a tree checkpoint (copy-on-write
+        walk); shared by snapshot materialization and page serving."""
         pages: Dict[int, bytes] = {}
         for index in self._tree.known_page_indexes():
             record = self._tree.page_at_checkpoint(index, snap_id)
             if record is not None and record.value:
                 pages[index] = record.value
-        return self._state_from_pages(pages)
+        return pages
+
+    def _materialize_snapshot(self, snap_id: int) -> object:
+        """Resolve a tree checkpoint to portable state (copy-on-write walk)."""
+        return self._state_from_pages(self._checkpoint_page_map(snap_id))
 
     def _reset_tree(self) -> None:
         """Discard the tree after a wholesale state replacement.
@@ -385,6 +433,59 @@ class PagedService(Service):
     def load_pages(self, pages: Dict[int, bytes]) -> None:
         self._import_state(self._state_from_pages(dict(pages)))
         self._reset_tree()
+
+    # ------------------------------------------------- page-level transfer
+    def page_digests(self) -> Dict[int, int]:
+        """Sparse map of page index -> content digest of the *current*
+        state.  Optimized runs read the eagerly-maintained digests out of
+        the partition tree; the baseline recomputes them from scratch —
+        identical values either way."""
+        if hotpath.CACHES_ENABLED:
+            self._flush()
+            return self._tree.digest_items()
+        digests: Dict[int, int] = {}
+        for index in self._page_indexes():
+            encoded = self._encode_page(index)
+            if encoded:
+                digests[index] = content_page_digest(index, encoded)
+        return digests
+
+    def snapshot_pages(self, snapshot: object) -> Dict[int, bytes]:
+        """The page encodings captured by a snapshot (what FETCH requests
+        are served from).
+
+        A live copy-on-write handle resolves through the partition tree
+        (the records hold the ``_encode_page`` bytes verbatim); a portable
+        snapshot — the baseline form, or a handle detached by a tree reset
+        — re-encodes through ``_pages_from_portable``.  Both forms yield
+        identical bytes.
+        """
+        if (
+            isinstance(snapshot, PageSnapshot)
+            and snapshot.owner is self
+            and self._snapshots.get(snapshot.snap_id) is snapshot
+        ):
+            return self._checkpoint_page_map(snapshot.snap_id)
+        return self._pages_from_portable(self.export_snapshot(snapshot))
+
+    def import_page(self, index: int, value: bytes) -> None:
+        """Install one fetched page into the current state (``b""``
+        removes the page).  Counts as a mutation: the page is marked dirty
+        and ``state_version`` advances, so digests stay incremental and
+        checkpoint reuse can never mask the install."""
+        self._import_page(index, value)
+        self._touch(index)
+
+    def install_pages(
+        self, updates: Mapping[int, bytes], removals: Iterable[int] = ()
+    ) -> None:
+        """Install a fetched page delta: drop ``removals``, then import
+        ``updates``.  Pages not named are left untouched — the caller has
+        already proven they match the target state."""
+        for index in sorted(removals):
+            self.import_page(index, b"")
+        for index in sorted(updates):
+            self.import_page(index, updates[index])
 
 
 def bytes_digest(data: bytes) -> bytes:

@@ -167,6 +167,30 @@ class KeyValueStore(PagedService):
             data.update(_decode_records(blob))
         return data
 
+    def _pages_from_portable(self, state: object) -> Dict[int, bytes]:
+        buckets: Dict[int, Dict[bytes, bytes]] = {}
+        for key, value in state.items():  # type: ignore[attr-defined]
+            buckets.setdefault(self.bucket_of(key), {})[key] = value
+        return {
+            index: _encode_records(
+                (key, records[key]) for key in sorted(records)
+            )
+            for index, records in buckets.items()
+        }
+
+    def _import_page(self, index: int, value: bytes) -> None:
+        # A page is one whole bucket: drop whatever the bucket holds now,
+        # then decode the fetched records into it.
+        for key in self._buckets.pop(index, ()):
+            self._data.pop(key, None)
+        if not value:
+            return
+        keys = set()
+        for key, record in _decode_records(value):
+            self._data[key] = record
+            keys.add(key)
+        self._buckets[index] = keys
+
     def _export_state(self) -> object:
         return dict(self._data)
 

@@ -68,8 +68,14 @@ class NullService(PagedService):
     def _state_from_pages(self, pages: Dict[int, bytes]) -> object:
         return int(pages.get(0, b"0"))
 
+    def _pages_from_portable(self, state: object) -> Dict[int, bytes]:
+        return {0: str(int(state)).encode()}  # type: ignore[arg-type]
+
     def _export_state(self) -> object:
         return self.operations_executed
 
     def _import_state(self, state: object) -> None:
         self.operations_executed = int(state)  # type: ignore[arg-type]
+
+    def _import_page(self, index: int, value: bytes) -> None:
+        self.operations_executed = int(value or b"0")

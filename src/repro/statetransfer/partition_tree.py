@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Modulus used by the AdHash combination of child digests.  Public so the
 #: replica's incremental reply-table digest can reuse the same group.
@@ -63,6 +63,37 @@ def _combine(child_digests: Iterable[int]) -> int:
     for child in child_digests:
         total = (total + child) % _ADHASH_MODULUS
     return total
+
+
+def pages_per_partition(level: int, fanout: int, levels: int) -> int:
+    """How many pages one partition at ``level`` covers (1 at the leaf
+    level, ``fanout`` one level up, and so on to the root)."""
+    return fanout ** (levels - 1 - level)
+
+
+def partition_of(page_index: int, level: int, fanout: int, levels: int) -> int:
+    """Index of the partition at ``level`` that contains ``page_index``."""
+    return page_index // pages_per_partition(level, fanout, levels)
+
+
+def group_level_digests(
+    page_digests: Mapping[int, int], level: int, fanout: int, levels: int
+) -> Dict[int, int]:
+    """Partition digests at ``level`` from a sparse page-digest map.
+
+    The digest of an interior partition is the AdHash sum of the page
+    digests it covers, exactly the quantity META-DATA replies prove during
+    hierarchical state transfer; an empty partition has digest 0 and is
+    omitted.  At the leaf level this is the identity map.
+    """
+    span = pages_per_partition(level, fanout, levels)
+    if span == 1:
+        return {index: d for index, d in page_digests.items() if d}
+    grouped: Dict[int, int] = {}
+    for page_index, page_digest in page_digests.items():
+        index = page_index // span
+        grouped[index] = (grouped.get(index, 0) + page_digest) % _ADHASH_MODULUS
+    return {index: d for index, d in grouped.items() if d}
 
 
 @dataclass
@@ -180,6 +211,16 @@ class PartitionTree:
         """Iterate over ``(index, value)`` for every page currently stored."""
         for index, record in self._pages.items():
             yield index, record.value
+
+    def digest_items(self) -> Dict[int, int]:
+        """Sparse map of page index -> current page digest (non-empty pages
+        only).  In content-digest mode the values are maintained eagerly by
+        :meth:`write_page`, so this costs no hashing."""
+        return {
+            index: record.digest
+            for index, record in self._pages.items()
+            if record.value
+        }
 
     # ------------------------------------------------------------ checkpoints
     def take_checkpoint(self, seq: int) -> CheckpointCopy:

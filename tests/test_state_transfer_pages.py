@@ -1,0 +1,428 @@
+"""Property and protocol tests for hierarchical page-level state transfer.
+
+Covers the page-transfer contract of this PR:
+
+* the page-level export surface (``page_digests``/``snapshot_pages``) is
+  bit-identical between the optimized (partition-tree backed) and baseline
+  (from-scratch re-encode) simulator modes, and between a live
+  copy-on-write handle and its portable form;
+* installing a page delta (``install_pages``) converges a diverged store
+  to exactly the source state, for randomized divergences;
+* the replica-level protocol: a lagging replica converges to the same
+  stable-checkpoint digest through the page protocol as through the
+  whole-snapshot baseline, while fetching fewer bytes;
+* a faulty sender cannot poison the transfer: corrupted pages and
+  unverifiable META-DATA are rejected without touching the cursor, and
+  the page is re-requested from another replica;
+* a transfer interrupted by a newer stable checkpoint *resumes*: pages
+  already fetched and still valid are installed without being re-fetched;
+* the whole-snapshot path only installs state newer than its target when
+  a matching stable certificate is held (the ``seq > target_seq`` bugfix).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro import hotpath
+from repro.bench import preload_kv_state
+from repro.core.messages import Checkpoint, Data, MetaData
+from repro.library import BFTCluster
+from repro.services.kvstore import KeyValueStore
+from repro.statetransfer.partition_tree import (
+    ADHASH_MODULUS,
+    content_page_digest,
+    group_level_digests,
+)
+
+KEYS = [b"alpha", b"beta", b"gamma", b"delta", b"epsilon", b"zeta",
+        b"eta", b"theta"]
+
+kv_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just(b"SET"), st.sampled_from(KEYS),
+                  st.binary(min_size=1, max_size=32).filter(lambda v: b" " not in v)),
+        st.tuples(st.just(b"DEL"), st.sampled_from(KEYS)),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def _apply(store: KeyValueStore, ops) -> None:
+    for op in ops:
+        if op[0] == b"SET":
+            store.execute(b"SET " + op[1] + b" " + op[2], "client")
+        else:
+            store.execute(b"DEL " + op[1], "client")
+
+
+# ---------------------------------------------------------------- exports
+@settings(max_examples=50, deadline=None)
+@given(ops=kv_ops)
+def test_page_exports_identical_across_modes(ops):
+    """``page_digests`` and ``snapshot_pages`` produce the same values
+    whether they come from the partition tree (optimized) or a from-scratch
+    re-encode (baseline) — which is what keeps the transfer protocol's
+    modeled messages bit-identical across simulator modes."""
+    optimized = KeyValueStore()
+    _apply(optimized, ops)
+    handle = optimized.snapshot()
+    with hotpath.caches_disabled():
+        baseline = KeyValueStore()
+        _apply(baseline, ops)
+        portable = baseline.snapshot()
+        baseline_digests = baseline.page_digests()
+        baseline_pages = baseline.snapshot_pages(portable)
+    assert optimized.page_digests() == baseline_digests
+    assert optimized.snapshot_pages(handle) == baseline_pages
+    # The root the digests AdHash up to matches the service digest both
+    # report, and the level-1 grouping is consistent with the leaf map.
+    digests = optimized.page_digests()
+    root = sum(digests.values()) % ADHASH_MODULUS
+    level1 = group_level_digests(
+        digests, 1, optimized.tree_fanout, optimized.tree_levels
+    )
+    assert sum(level1.values()) % ADHASH_MODULUS == root
+    optimized.release_snapshot(handle)
+
+
+@settings(max_examples=50, deadline=None)
+@given(source_ops=kv_ops, follower_ops=kv_ops)
+def test_install_pages_converges_to_source_state(source_ops, follower_ops):
+    """Installing the page delta (differing pages + removals) converges a
+    diverged follower to exactly the source state."""
+    source = KeyValueStore()
+    follower = KeyValueStore()
+    _apply(source, source_ops)
+    _apply(follower, follower_ops)
+    target_pages = source.snapshot_pages(source.snapshot())
+    target_digests = {
+        index: content_page_digest(index, value)
+        for index, value in target_pages.items()
+    }
+    local = follower.page_digests()
+    updates = {
+        index: target_pages[index]
+        for index, digest_value in target_digests.items()
+        if local.get(index) != digest_value
+    }
+    removals = set(local) - set(target_digests)
+    follower.install_pages(updates, removals)
+    assert follower.state_digest() == source.state_digest()
+    assert follower._export_state() == source._export_state()
+
+
+# ---------------------------------------------------- protocol end to end
+def _partition_scenario():
+    cluster = BFTCluster.create(
+        f=1, service_factory=KeyValueStore, checkpoint_interval=4
+    )
+    client = cluster.new_client()
+    # A heavy identical warm state on every replica (installed directly,
+    # like the benchmarks do) plus some replicated traffic: the blob path
+    # must ship all of it, the page path only what the churn dirties.
+    preload_kv_state(cluster, keys=512, value_size=128)
+    for index in range(24):
+        client.invoke(b"SET warm%03d w%03d" % (index, index))
+    for other in ("replica0", "replica1", "replica2", client.id):
+        cluster.conditions.partition("replica3", other)
+    for index in range(8):
+        client.invoke(b"SET churn%d c%d" % (index, index))
+    cluster.conditions.heal_all()
+    for index in range(8):
+        client.invoke(b"SET heal%d h%d" % (index, index))
+    cluster.run(duration=30_000_000)
+    # A last round of traffic makes the healed replica advertise its gap
+    # (status/retransmission) and execute the tail it missed.
+    for index in range(8):
+        client.invoke(b"SET tail%d t%d" % (index, index))
+    cluster.run(duration=10_000_000)
+    return cluster
+
+
+def test_page_transfer_converges_like_whole_snapshot_with_fewer_bytes():
+    page_run = _partition_scenario()
+    with hotpath.page_transfer_disabled():
+        blob_run = _partition_scenario()
+
+    results = {}
+    for name, cluster in (("page", page_run), ("blob", blob_run)):
+        lagging = cluster.replicas["replica3"]
+        assert lagging.state_transfer.metrics.transfers_completed >= 1
+        assert lagging.stable_checkpoint_seq >= 24
+        digests = {
+            replica.service.state_digest()
+            for replica in cluster.replicas.values()
+        }
+        assert len(digests) == 1, name
+        results[name] = {
+            "bytes": lagging.state_transfer.metrics.bytes_fetched,
+            "digest": digests.pop(),
+        }
+    # Identical deterministic workloads: both protocols converge every
+    # replica to the same state, but the page protocol moves less data
+    # and only the stale pages.
+    assert results["page"]["digest"] == results["blob"]["digest"]
+    assert results["page"]["bytes"] < results["blob"]["bytes"]
+    assert page_run.replicas["replica3"].state_transfer.metrics.pages_fetched > 0
+    assert (
+        page_run.replicas["replica3"].state_transfer.metrics.pages_skipped_local > 0
+    )
+
+
+# ------------------------------------------------------- driven harness
+def _driven_cluster(first_ops=8, prefix=b"a"):
+    """A cluster whose replica3 is partitioned away while the healthy side
+    advances; the tests then drive replica3's transfer manager directly
+    with replies built by replica0's server side (deterministic, no
+    network timing involved)."""
+    cluster = BFTCluster.create(
+        f=1, service_factory=KeyValueStore, checkpoint_interval=4
+    )
+    client = cluster.new_client()
+    for other in ("replica0", "replica1", "replica2", client.id):
+        cluster.conditions.partition("replica3", other)
+    for index in range(first_ops):
+        client.invoke(b"SET %s%03d v%03d" % (prefix, index, index))
+    # Let the checkpoint round drain so the last interval becomes stable.
+    cluster.run(duration=2_000_000)
+    return cluster, client
+
+
+def _pump_metadata(manager, server, seq):
+    """Answer every outstanding interior-partition request from ``server``;
+    returns once only page (leaf) requests remain."""
+    for _ in range(16):
+        interior = [
+            key for key in list(manager._pending)
+            if key[0] < manager.replica.service.tree_levels - 1
+        ]
+        if not interior:
+            return
+        for level, index in interior:
+            reply = server.build_metadata(seq, level, index)
+            assert reply is not None
+            manager.handle(reply)
+
+
+def test_corrupt_page_rejected_without_poisoning_cursor():
+    cluster, _client = _driven_cluster()
+    replica0 = cluster.replicas["replica0"]
+    lagging = cluster.replicas["replica3"]
+    manager = lagging.state_transfer
+    server = replica0.state_transfer
+    seq = replica0.stable_checkpoint_seq
+    assert seq >= 8
+    target_digest = replica0.checkpoints[seq].state_digest
+
+    manager.start(seq, target_digest)
+    root = server.build_metadata(seq, 0, 0)
+    # A tampered root reply does not recombine to the certified digest.
+    tampered = server.build_metadata(seq, 0, 0)
+    entries = list(tampered.entries)
+    entries[0] = (entries[0][0], entries[0][1], b"\xff" * 16)
+    tampered.entries = tuple(entries)
+    manager.handle(tampered)
+    assert not manager._root_proven
+    assert manager.metrics.metadata_rejected == 1
+
+    manager.handle(root)
+    assert manager._root_proven
+    _pump_metadata(manager, server, seq)
+    wanted = dict(manager._wanted)
+    assert wanted
+
+    victim = sorted(wanted)[0]
+    before_cursor = dict(manager._fetched)
+    evil = Data(index=victim, last_modified=seq, page=b"garbage", seq=seq,
+                sender="replica1")
+    manager.handle(evil)
+    assert manager.metrics.pages_rejected == 1
+    assert manager._fetched == before_cursor  # cursor untouched
+    assert victim in manager._wanted          # still being fetched
+
+    for page in sorted(wanted):
+        reply = server.build_data(seq, page)
+        assert reply is not None
+        manager.handle(reply)
+    assert not manager.in_progress
+    assert manager.metrics.transfers_completed == 1
+    assert lagging.service.state_digest() == replica0.service.state_digest()
+    assert lagging.stable_checkpoint_seq == seq
+
+
+def test_forged_interior_metadata_is_evicted_and_refetched():
+    """Interior digests are additive sums, so a faulty sender can hand out
+    child entries that sum correctly but are individually wrong.  Honest
+    pages then keep failing verification — after every replica has had a
+    chance, the forged metadata is evicted and re-fetched, and the
+    transfer completes instead of looping forever."""
+    cluster, _client = _driven_cluster(first_ops=24)
+    replica0 = cluster.replicas["replica0"]
+    lagging = cluster.replicas["replica3"]
+    manager = lagging.state_transfer
+    server = replica0.state_transfer
+    seq = replica0.stable_checkpoint_seq
+    manager.start(seq, replica0.checkpoints[seq].state_digest)
+    manager.handle(server.build_metadata(seq, 0, 0))
+
+    interior = [key for key in manager._pending if key[0] == 1]
+    victim = None
+    for _level, index in sorted(interior):
+        honest = server.build_metadata(seq, 1, index)
+        if len(honest.entries) >= 2:
+            victim = (index, honest)
+            break
+    assert victim is not None, "need a partition with at least two pages"
+    index, honest = victim
+    # Swap the digests of the first two pages: the sum (and therefore the
+    # parent check) still passes, but both entries are individually wrong.
+    entries = list(honest.entries)
+    entries[0], entries[1] = (
+        (entries[0][0], entries[0][1], entries[1][2]),
+        (entries[1][0], entries[1][1], entries[0][2]),
+    )
+    forged = MetaData(seq=seq, level=1, index=index, entries=tuple(entries),
+                      replica="replica1", sender="replica1")
+    manager.handle(forged)
+    assert (1, index) in manager._proven_children  # forgery accepted (sums ok)
+    _pump_metadata(manager, server, seq)
+
+    poisoned = entries[0][0]
+    assert poisoned in manager._wanted
+    honest_page = server.build_data(seq, poisoned)
+    rounds = len(lagging.others())
+    for _ in range(rounds):
+        manager.handle(honest_page)
+    assert manager.metrics.pages_rejected == rounds
+    # The forged proof is gone and the partition metadata is being
+    # re-fetched.
+    assert (1, index) not in manager._proven_children
+
+    # The evicted partition's metadata is re-requested once the other
+    # pendings drain; keep answering until the transfer completes.
+    for _ in range(6):
+        if not manager.in_progress:
+            break
+        _pump_metadata(manager, server, seq)
+        for page in sorted(manager._wanted):
+            manager.handle(server.build_data(seq, page))
+    assert not manager.in_progress
+    assert manager.metrics.transfers_completed == 1
+    assert lagging.service.state_digest() == replica0.service.state_digest()
+
+
+def test_interrupted_transfer_resumes_without_refetching_valid_pages():
+    cluster, client = _driven_cluster(first_ops=8, prefix=b"a")
+    replica0 = cluster.replicas["replica0"]
+    lagging = cluster.replicas["replica3"]
+    manager = lagging.state_transfer
+    server = replica0.state_transfer
+
+    first_seq = replica0.stable_checkpoint_seq
+    assert first_seq >= 8
+    manager.start(first_seq, replica0.checkpoints[first_seq].state_digest)
+    manager.handle(server.build_metadata(first_seq, 0, 0))
+    _pump_metadata(manager, server, first_seq)
+    wanted = sorted(manager._wanted)
+    assert len(wanted) >= 2
+    # Deliver only part of the pages, then interrupt: the healthy side
+    # advances to a new stable checkpoint over *different* keys.
+    delivered = wanted[: len(wanted) // 2]
+    for page in delivered:
+        manager.handle(server.build_data(first_seq, page))
+    assert manager.in_progress
+
+    for index in range(4):
+        client.invoke(b"SET b%03d w%03d" % (index, index))
+    cluster.run(duration=2_000_000)
+    second_seq = replica0.stable_checkpoint_seq
+    assert second_seq > first_seq
+
+    manager.start(second_seq, replica0.checkpoints[second_seq].state_digest)
+    assert manager.metrics.transfers_resumed == 1
+    pages_fetched_before_resume = manager.metrics.pages_fetched
+    manager.handle(server.build_metadata(second_seq, 0, 0))
+    _pump_metadata(manager, server, second_seq)
+    # Pages fetched before the interruption are still valid under the new
+    # checkpoint (their keys were untouched) and must not be re-requested.
+    assert not set(delivered) & set(manager._wanted)
+    for page in sorted(manager._wanted):
+        manager.handle(server.build_data(second_seq, page))
+    assert not manager.in_progress
+    assert manager.metrics.transfers_completed == 1
+    assert manager.metrics.pages_fetched > pages_fetched_before_resume
+    assert lagging.service.state_digest() == replica0.service.state_digest()
+    assert lagging.stable_checkpoint_seq == second_seq
+    assert lagging.service.get(b"a001") == b"v001"
+    assert lagging.service.get(b"b001") == b"w001"
+
+
+def test_whole_snapshot_newer_state_requires_certificate():
+    """The legacy path's bugfix: a Data message carrying state *newer* than
+    the transfer target installs only once a matching stable certificate
+    for that sequence number is held."""
+    with hotpath.page_transfer_disabled():
+        cluster, client = _driven_cluster(first_ops=8, prefix=b"a")
+        replica0 = cluster.replicas["replica0"]
+        lagging = cluster.replicas["replica3"]
+        manager = lagging.state_transfer
+
+        first_seq = replica0.stable_checkpoint_seq
+        first_digest = replica0.checkpoints[first_seq].state_digest
+        manager.start(first_seq, first_digest)
+
+        # The healthy side moves on; the old checkpoint is garbage
+        # collected, so only newer state can be served.
+        for index in range(4):
+            client.invoke(b"SET b%03d w%03d" % (index, index))
+        cluster.run(duration=2_000_000)
+        newer_seq = replica0.stable_checkpoint_seq
+        assert newer_seq > first_seq
+        snapshot = replica0.checkpoints[newer_seq]
+        blob = pickle.dumps(
+            {
+                "seq": newer_seq,
+                "state_digest": snapshot.state_digest,
+                "service_snapshot": replica0.service.export_snapshot(
+                    snapshot.service_snapshot
+                ),
+                "last_reply_timestamp": snapshot.last_reply_timestamp,
+            }
+        )
+        data = Data(index=newer_seq, last_modified=newer_seq, page=blob,
+                    seq=newer_seq, sender="replica0")
+
+        # Without a certificate for newer_seq the state must be refused.
+        manager.handle(data)
+        assert manager.in_progress
+        assert lagging.last_executed == 0
+
+        # With a stable certificate (2f+1 matching checkpoint messages in
+        # the log) the digest field is accepted — but a forged blob whose
+        # *content* does not hash to it must still be refused.
+        for sender in ("replica0", "replica1", "replica2"):
+            lagging.log.checkpoint_record(newer_seq).add(
+                Checkpoint(seq=newer_seq, state_digest=snapshot.state_digest,
+                           replica=sender, sender=sender)
+            )
+        forged = pickle.dumps(
+            {
+                "seq": newer_seq,
+                "state_digest": snapshot.state_digest,
+                "service_snapshot": {b"evil": b"state"},
+                "last_reply_timestamp": {},
+            }
+        )
+        manager.handle(Data(index=newer_seq, last_modified=newer_seq,
+                            page=forged, seq=newer_seq, sender="replica2"))
+        assert manager.in_progress
+        assert lagging.last_executed == 0
+
+        manager.handle(data)
+        assert not manager.in_progress
+        assert lagging.last_executed == newer_seq
+        assert lagging.service.state_digest() == replica0.service.state_digest()
