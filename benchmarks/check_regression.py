@@ -46,6 +46,7 @@ for _path in (os.path.join(REPO_ROOT, "src"), os.path.dirname(os.path.abspath(__
         sys.path.insert(0, _path)
 import test_bench_checkpoint_pipeline as _bench_checkpoint
 import test_bench_hotpath as _bench_hotpath
+import test_bench_sharding as _bench_sharding
 import test_bench_state_transfer_pages as _bench_statetransfer
 
 # Per-experiment spec.  Optional keys (with defaults) describe the record
@@ -78,6 +79,22 @@ EXPERIMENTS = {
         "side_metric": "bytes_fetched",
         "deterministic": True,
     },
+    "sharding": {
+        "record": "BENCH_sharding.json",
+        "module": "benchmarks/test_bench_sharding.py",
+        # The gated headline is the migration bytes ratio (whole-store /
+        # bucket-range modeled bytes) — like the state-transfer ratio it
+        # is fully deterministic: one fresh run, no retry slack.
+        "speedup_floor": _bench_sharding.FULL_MIGRATION_BYTES_RATIO_FLOOR,
+        "required_workload_fragments": ["groups=2", "groups=4", "migration"],
+        "headline_key": "headline_migration_bytes_ratio",
+        "ratio_key": "ratio",
+        "side_metric": "metric",
+        "deterministic": True,
+        # Aggregate-throughput scaling rows carry their own floors (the
+        # 4-group deployment must keep scaling).
+        "row_floors": {"groups=4": _bench_sharding.FULL_SCALING_FLOOR},
+    },
 }
 
 
@@ -109,6 +126,13 @@ def check_schema(name: str, spec: dict, record: dict) -> list:
     for fragment in spec["required_workload_fragments"]:
         if not any(fragment in workload for workload in workloads):
             problems.append(f"no workload matching {fragment!r} in macro rows")
+    for fragment, floor in spec.get("row_floors", {}).items():
+        for row in record.get("macro", []):
+            if fragment in row.get("workload", "") and row.get(ratio_key, 0) < floor:
+                problems.append(
+                    f"workload {row.get('workload')!r} {ratio_key} "
+                    f"{row.get(ratio_key)}x below the {floor}x floor"
+                )
     for row in record.get("macro", []):
         if ratio_key not in row:
             problems.append(f"workload {row.get('workload')!r} lacks {ratio_key!r}")

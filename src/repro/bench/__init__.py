@@ -7,9 +7,12 @@ from repro.bench.workloads import (
     measure_latency,
     measure_throughput,
     preload_kv_state,
+    preload_sharded_kv_state,
     run_closed_loop,
     run_kv_mixed,
     run_kv_value_churn,
+    run_sharded_closed_loop,
+    run_sharded_kv_churn,
     LatencyResult,
     ThroughputResult,
 )
@@ -22,9 +25,12 @@ __all__ = [
     "measure_latency",
     "measure_throughput",
     "preload_kv_state",
+    "preload_sharded_kv_state",
     "run_closed_loop",
     "run_kv_mixed",
     "run_kv_value_churn",
+    "run_sharded_closed_loop",
+    "run_sharded_kv_churn",
     "LatencyResult",
     "ThroughputResult",
     "ExperimentTable",

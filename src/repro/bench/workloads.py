@@ -89,6 +89,24 @@ def measure_latency(
     return result
 
 
+def _issue_first(sync, operation: bytes, read_only: bool) -> None:
+    """Issue a client's first operation from outside the simulation."""
+    if hasattr(sync, "submit"):  # sharded ShardClient
+        sync.submit(operation, read_only=read_only, external=True)
+    else:  # plain SyncClient
+        sync.invoke_async(operation, read_only=read_only)
+
+
+def _issue_next(sync, operation: bytes, read_only: bool) -> None:
+    """Re-issue from within the client's completion handler: sends are
+    flushed when the handler finishes (never ``external_call`` here — it
+    would reset the handling node's in-progress outbox)."""
+    if hasattr(sync, "submit"):
+        sync.submit(operation, read_only=read_only)
+    else:
+        sync.protocol.invoke(operation, read_only=read_only)
+
+
 def run_closed_loop(
     cluster,
     num_clients: int,
@@ -100,6 +118,11 @@ def run_closed_loop(
     ``operation_factory(client_index, op_index)`` returns ``(operation,
     read_only)`` for each issue.  Returns throughput over the span from the
     first issue to the last completion.
+
+    Works with both a single :class:`~repro.library.cluster.BFTCluster`
+    and a :class:`~repro.sharding.ShardedKVCluster` (anything exposing
+    ``new_client``/``run``/``now``); sharded clients route every
+    operation to the group owning its key's bucket in the current epoch.
     """
     progress = {"done": 0}
     latencies: List[float] = []
@@ -118,16 +141,14 @@ def run_closed_loop(
                 if counters["issued"] < operations_per_client:
                     operation, read_only = operation_factory(index, counters["issued"])
                     counters["issued"] += 1
-                    # Invoked from within the client's handler: sends are
-                    # flushed when the handler finishes.
-                    sync.protocol.invoke(operation, read_only=read_only)
+                    _issue_next(sync, operation, read_only)
             return on_complete
 
         sync = cluster.new_client(on_complete=make_callback(client_index))
         clients.append(sync)
         operation, read_only = operation_factory(client_index, 0)
         counters["issued"] = 1
-        sync.invoke_async(operation, read_only=read_only)
+        _issue_first(sync, operation, read_only)
 
     cluster.run(stop_when=lambda: progress["done"] >= total_expected,
                 duration=3_600_000_000.0)
@@ -246,6 +267,68 @@ def run_kv_mixed(
             value_size=value_size,
         ),
     )
+
+
+# ------------------------------------------------------------------ sharding
+def run_sharded_closed_loop(
+    sharded,
+    num_clients: int,
+    operations_per_client: int,
+    operation_factory: Callable[[int, int], Tuple[bytes, bool]],
+) -> ThroughputResult:
+    """Closed-loop workload over a :class:`~repro.sharding.ShardedKVCluster`.
+
+    The generic :func:`run_closed_loop` handles sharded clusters
+    directly; this alias exists for discoverability.  Each logical
+    client is a :class:`~repro.sharding.ShardClient`, one client's
+    stream can span groups, the reported throughput is the *aggregate*
+    across the whole deployment, and operations whose bucket range is
+    mid-migration are queued by the router and re-issued at the new
+    owner, so the loop keeps its operation count exact across
+    migrations.
+    """
+    return run_closed_loop(
+        sharded, num_clients, operations_per_client, operation_factory
+    )
+
+
+def run_sharded_kv_churn(
+    sharded,
+    num_clients: int,
+    operations_per_client: int,
+    key_space: int = 256,
+    value_size: int = 1024,
+) -> ThroughputResult:
+    """Closed-loop KV value churn across every group of a sharded cluster
+    (the E16 scaling workload).  The key stream is the same deterministic
+    churn stream as :func:`run_kv_value_churn`; CRC-32 bucketing spreads
+    it over the groups."""
+    return run_sharded_closed_loop(
+        sharded,
+        num_clients,
+        operations_per_client,
+        lambda client_index, op_index: kv_churn_operation(
+            client_index, op_index, key_space=key_space, value_size=value_size
+        ),
+    )
+
+
+def preload_sharded_kv_state(
+    sharded, keys: int, value_size: int = 2048, prefix: bytes = b"warm"
+) -> None:
+    """Install a heavy baseline state directly into every replica of the
+    *owning* group for each key (bypassing the protocol), mirroring
+    :func:`preload_kv_state` but respecting the router's bucket
+    ownership so the sharded invariant — each key lives in exactly one
+    group — holds from the start."""
+    value = b"W" * value_size
+    router = sharded.router
+    for index in range(keys):
+        key = b"%s%05d" % (prefix, index)
+        group = router.group_of_key(key)
+        operation = b"SET " + key + b" " + value
+        for service in sharded.group(group).services.values():
+            service.execute(operation, "preload")
 
 
 def preload_kv_state(

@@ -32,10 +32,17 @@ class ReplicaSetConfig:
 
     Replica identifiers are strings of the form ``"replica0"`` ...
     ``"replica{n-1}"``; the primary of view ``v`` is replica ``v mod n``
-    (Section 2.3).
+    (Section 2.3).  Multi-group deployments (sharded services, where
+    several independent replica groups share one simulated network) give
+    each group a distinct ``replica_prefix`` — e.g. ``"g1:replica"`` — so
+    node names never collide across groups.
     """
 
     n: int
+    #: Prefix of every replica identifier in this group.  Part of the node
+    #: namespace, not of the protocol: replicas only ever compare ids from
+    #: their own config.
+    replica_prefix: str = "replica"
     checkpoint_interval: int = 128
     #: Log size in sequence numbers; the paper uses a small multiple of the
     #: checkpoint interval (Section 2.3.4).
@@ -82,12 +89,12 @@ class ReplicaSetConfig:
         # cached_property writes straight into __dict__, which a frozen
         # dataclass permits; the config is immutable so the cache never
         # goes stale.
-        return tuple(f"replica{i}" for i in range(self.n))
+        return tuple(f"{self.replica_prefix}{i}" for i in range(self.n))
 
     def replica_index(self, replica_id: str) -> int:
-        if not replica_id.startswith("replica"):
+        if not replica_id.startswith(self.replica_prefix):
             raise ValueError(f"not a replica id: {replica_id!r}")
-        index = int(replica_id[len("replica"):])
+        index = int(replica_id[len(self.replica_prefix):])
         if not 0 <= index < self.n:
             raise ValueError(f"replica index out of range: {replica_id!r}")
         return index
@@ -96,7 +103,7 @@ class ReplicaSetConfig:
         """The primary of ``view`` is replica ``view mod n``."""
         if view < 0:
             raise ValueError("view numbers are non-negative")
-        return f"replica{view % self.n}"
+        return f"{self.replica_prefix}{view % self.n}"
 
     def is_primary(self, replica_id: str, view: int) -> bool:
         return self.primary_of(view) == replica_id

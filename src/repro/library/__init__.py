@@ -3,9 +3,12 @@
 :class:`BFTCluster` assembles a complete simulated deployment — replicas,
 clients, network, cost model and fault injection — and exposes a simple
 synchronous ``invoke`` interface mirroring the library API of Figure 6-2.
+:class:`ShardedKVService` scales the same interface across several
+replica groups (:mod:`repro.sharding`), with keys hash-partitioned over
+the groups and bucket-range migration between them.
 """
 
 from repro.library.cluster import BFTCluster, SyncClient
-from repro.library.api import ReplicatedService
+from repro.library.api import ReplicatedService, ShardedKVService
 
-__all__ = ["BFTCluster", "SyncClient", "ReplicatedService"]
+__all__ = ["BFTCluster", "SyncClient", "ReplicatedService", "ShardedKVService"]

@@ -298,7 +298,16 @@ class SyncClient:
 
 
 class BFTCluster:
-    """A complete simulated BFT deployment."""
+    """A complete simulated BFT deployment.
+
+    A cluster normally owns its whole simulated world — scheduler, network
+    and RNG.  Multi-group deployments (:mod:`repro.sharding`) instead pass
+    shared ``scheduler``/``network``/``rng``/``registry`` instances so that
+    several independent replica groups advance on one clock and exchange
+    messages over one network; each group then needs a distinct
+    ``config.replica_prefix`` and ``client_prefix`` so node names stay
+    unique across the shared fabric.
+    """
 
     def __init__(
         self,
@@ -309,16 +318,28 @@ class BFTCluster:
         conditions: Optional[NetworkConditions] = None,
         seed: int = 0,
         record_events: bool = False,
+        scheduler: Optional[Scheduler] = None,
+        network: Optional[Network] = None,
+        rng: Optional[SimRandom] = None,
+        registry: Optional[SignatureRegistry] = None,
+        client_prefix: str = "",
     ) -> None:
         self.config = config
         self.options = options
         self.params = params
-        self.rng = SimRandom(seed)
-        self.scheduler = Scheduler()
-        self.conditions = conditions or params.communication.network_conditions()
-        self.network = Network(self.scheduler, self.conditions, self.rng.fork("net"))
+        self.rng = rng or SimRandom(seed)
+        self.scheduler = scheduler or Scheduler()
+        if network is not None:
+            self.network = network
+            self.conditions = network.conditions
+        else:
+            self.conditions = conditions or params.communication.network_conditions()
+            self.network = Network(
+                self.scheduler, self.conditions, self.rng.fork("net")
+            )
         self.fault_injector = FaultInjector()
-        self.registry = SignatureRegistry()
+        self.registry = registry or SignatureRegistry()
+        self.client_prefix = client_prefix
         self.record_events = record_events
 
         self.replicas: Dict[str, Replica] = {}
@@ -418,7 +439,7 @@ class BFTCluster:
         on_complete: Optional[Callable[[CompletedRequest], None]] = None,
     ) -> SyncClient:
         if name is None:
-            name = f"client{self._client_counter}"
+            name = f"{self.client_prefix}client{self._client_counter}"
             self._client_counter += 1
         node = ProtocolNode(
             name,

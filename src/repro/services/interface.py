@@ -468,6 +468,45 @@ class PagedService(Service):
             return self._checkpoint_page_map(snapshot.snap_id)
         return self._pages_from_portable(self.export_snapshot(snapshot))
 
+    def snapshot_page_subset(
+        self, snapshot: object, indexes: Iterable[int]
+    ) -> Dict[int, bytes]:
+        """The page encodings of just ``indexes`` captured by a snapshot —
+        what bucket-range migration serves, where the moved range is a
+        small fraction of the store.
+
+        A live copy-on-write handle resolves each wanted page directly
+        through the partition tree (O(range), not O(store)); a portable
+        snapshot goes through :meth:`_subset_from_portable`, which
+        subclasses specialize to avoid re-encoding the whole state.
+        Byte-identical to filtering :meth:`snapshot_pages`.
+        """
+        wanted = set(indexes)
+        if (
+            isinstance(snapshot, PageSnapshot)
+            and snapshot.owner is self
+            and self._snapshots.get(snapshot.snap_id) is snapshot
+        ):
+            pages: Dict[int, bytes] = {}
+            for index in wanted:
+                record = self._tree.page_at_checkpoint(index, snapshot.snap_id)
+                if record is not None and record.value:
+                    pages[index] = record.value
+            return pages
+        return self._subset_from_portable(self.export_snapshot(snapshot), wanted)
+
+    def _subset_from_portable(
+        self, state: object, wanted: set
+    ) -> Dict[int, bytes]:
+        """Encode only the wanted pages of a portable state copy.  The
+        default encodes everything and filters; subclasses whose encoding
+        is separable per page (the KV store's key buckets) override it."""
+        return {
+            index: value
+            for index, value in self._pages_from_portable(state).items()
+            if index in wanted
+        }
+
     def import_page(self, index: int, value: bytes) -> None:
         """Install one fetched page into the current state (``b""``
         removes the page).  Counts as a mutation: the page is marked dirty

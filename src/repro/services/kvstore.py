@@ -23,7 +23,7 @@ deterministic across processes, which keeps digests replica-independent.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.services.interface import ExecutionResult, PagedService
 
@@ -150,6 +150,53 @@ class KeyValueStore(PagedService):
 
     def size(self) -> int:
         return len(self._data)
+
+    def items(self) -> Tuple[Tuple[bytes, bytes], ...]:
+        """The store's records in canonical (sorted) order."""
+        return tuple(sorted(self._data.items()))
+
+    # ------------------------------------------------------- bucket ranges
+    def populated_buckets(self) -> Tuple[int, ...]:
+        """Indexes of every bucket that currently holds at least one key."""
+        return tuple(sorted(self._buckets))
+
+    def keys_in_buckets(self, buckets: Iterable[int]) -> Tuple[bytes, ...]:
+        """The keys currently mapped to the given buckets, sorted."""
+        wanted = set(buckets)
+        found = []
+        for bucket in wanted:
+            found.extend(self._buckets.get(bucket, ()))
+        return tuple(sorted(found))
+
+    def bucket_range_pages(
+        self, snapshot: object, buckets: Iterable[int]
+    ) -> Dict[int, bytes]:
+        """The page encodings of the given buckets captured by a snapshot.
+
+        This is the export side of bucket-range migration: the moved
+        buckets' pages are read out of a *stable-checkpoint* snapshot (so
+        every honest replica of the group extracts identical bytes) and
+        installed into the target group via ``install_pages``.  Buckets
+        that hold nothing in the snapshot are simply absent from the
+        result.  Cost is proportional to the moved range, not the store
+        (``snapshot_page_subset``).
+        """
+        return self.snapshot_page_subset(snapshot, buckets)
+
+    def _subset_from_portable(self, state: object, wanted: set) -> Dict[int, bytes]:
+        # Group only the keys whose bucket is wanted, then encode those
+        # buckets — identical bytes to encoding everything and filtering.
+        buckets: Dict[int, Dict[bytes, bytes]] = {}
+        for key, value in state.items():  # type: ignore[attr-defined]
+            bucket = self.bucket_of(key)
+            if bucket in wanted:
+                buckets.setdefault(bucket, {})[key] = value
+        return {
+            index: _encode_records(
+                (key, records[key]) for key in sorted(records)
+            )
+            for index, records in buckets.items()
+        }
 
     # ----------------------------------------------------- dirty-page hooks
     def _encode_page(self, index: int) -> bytes:

@@ -1,0 +1,41 @@
+"""Sharded KV replica groups (ROADMAP: multi-group scaling).
+
+One PBFT group replicates one state machine; to serve heavy multi-user
+traffic the key space is hash-partitioned over *several* independent
+groups, each a full ``BFTCluster`` sharing one simulated scheduler/clock
+and network:
+
+* :class:`ShardRouter` — the client-side routing layer: maps a key to its
+  bucket (the KV store's CRC-32 scheme) and the bucket to its owning
+  group, with a monotonically increasing *routing epoch* that advances on
+  every ownership change;
+* :class:`ShardedKVCluster` — assembles the groups and hands out
+  :class:`ShardClient` handles that fan ``invoke`` out to the owning
+  group;
+* :func:`migrate_bucket_range` — moves a bucket range between groups by
+  exporting the buckets' pages from a stable checkpoint of the source
+  group (``snapshot_pages``), cross-checking per-page digests claimed by
+  the source replicas (``f + 1`` matching claims prove a page), and
+  installing the verified pages into the target group
+  (``install_pages``); requests for moved keys issued while the range is
+  in flight are redirected to the new owner instead of being lost.
+"""
+
+from repro.sharding.cluster import ShardClient, ShardedKVCluster
+from repro.sharding.migration import (
+    MigrationError,
+    MigrationMetrics,
+    migrate_bucket_range,
+    modeled_pages_cost,
+)
+from repro.sharding.router import ShardRouter
+
+__all__ = [
+    "MigrationError",
+    "MigrationMetrics",
+    "ShardClient",
+    "ShardRouter",
+    "ShardedKVCluster",
+    "migrate_bucket_range",
+    "modeled_pages_cost",
+]

@@ -1,0 +1,123 @@
+"""Key -> replica-group routing for the sharded KV service.
+
+The router is pure bookkeeping on the client side: it owns the bucket ->
+group assignment (every bucket belongs to exactly one group at any
+moment), the routing *epoch* that advances whenever ownership changes,
+and the freeze/queue machinery a migration uses to redirect in-flight
+requests for moved keys instead of losing them.  It never touches the
+simulated network itself — :class:`~repro.sharding.cluster.ShardClient`
+asks it where an operation goes and issues the request to that group's
+BFT client.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.services.kvstore import KeyValueStore
+
+
+def key_of_operation(operation: bytes) -> Optional[bytes]:
+    """The key an encoded KV operation addresses.
+
+    ``SET``/``GET``/``DEL``/``CAS`` carry their key as the second token;
+    ``KEYS`` (and anything unparseable) has no single key and returns
+    ``None`` — the caller must fan it out to every group.
+    """
+    parts = operation.split(b" ", 2)
+    if len(parts) < 2:
+        return None
+    verb = parts[0].upper()
+    if verb in (b"SET", b"GET", b"DEL", b"CAS"):
+        return parts[1]
+    return None
+
+
+class ShardRouter:
+    """Bucket-range routing table over ``num_groups`` replica groups.
+
+    The initial assignment gives each group a contiguous slice of the
+    bucket space (bucket ``b`` belongs to group ``b * G // B``), which is
+    what makes *bucket-range* migration the natural rebalancing move.
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        num_buckets: int = KeyValueStore.num_buckets,
+        bucket_fn: Callable[[bytes], int] = KeyValueStore.bucket_of,
+    ) -> None:
+        if num_groups < 1:
+            raise ValueError("a sharded cluster needs at least one group")
+        self.num_groups = num_groups
+        self.num_buckets = num_buckets
+        self.bucket_fn = bucket_fn
+        self._owner: List[int] = [
+            bucket * num_groups // num_buckets for bucket in range(num_buckets)
+        ]
+        self.epoch = 0
+        #: Ownership table of every epoch so far (index = epoch), for the
+        #: routing property tests.
+        self.ownership_history: List[Tuple[int, ...]] = [tuple(self._owner)]
+        #: Groups currently frozen by an in-flight migration.
+        self.frozen_groups: FrozenSet[int] = frozenset()
+        #: Operations queued while their bucket's group was frozen; flushed
+        #: (re-routed under the new epoch) when the migration completes.
+        self.queued: List[Tuple[object, bytes, bool]] = []
+
+    # ---------------------------------------------------------------- lookup
+    def bucket_of_key(self, key: bytes) -> int:
+        return self.bucket_fn(key)
+
+    def group_of_bucket(self, bucket: int) -> int:
+        return self._owner[bucket]
+
+    def group_of_key(self, key: bytes) -> int:
+        return self._owner[self.bucket_fn(key)]
+
+    def buckets_owned_by(self, group: int) -> Tuple[int, ...]:
+        return tuple(
+            bucket for bucket, owner in enumerate(self._owner) if owner == group
+        )
+
+    def ownership(self) -> Tuple[int, ...]:
+        """The current bucket -> group table (immutable copy)."""
+        return tuple(self._owner)
+
+    # ------------------------------------------------------------- migration
+    def assign(self, buckets: Iterable[int], group: int) -> int:
+        """Move the given buckets to ``group`` and advance the epoch."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"no such group: {group}")
+        for bucket in buckets:
+            self._owner[bucket] = group
+        self.epoch += 1
+        self.ownership_history.append(tuple(self._owner))
+        return self.epoch
+
+    def freeze(self, groups: Iterable[int]) -> None:
+        """Stop routing new operations into the given groups.
+
+        Operations submitted for a frozen group are queued; the migration
+        flushes them after the cut-over, so they execute at the bucket's
+        *new* owner instead of racing the state export.
+        """
+        self.frozen_groups = frozenset(groups)
+
+    def unfreeze(self) -> List[Tuple[object, bytes, bool]]:
+        """Lift the freeze and hand back the queued operations."""
+        self.frozen_groups = frozenset()
+        drained, self.queued = self.queued, []
+        return drained
+
+    def is_frozen_bucket(self, bucket: int) -> bool:
+        return self._owner[bucket] in self.frozen_groups
+
+    # ------------------------------------------------------------ invariants
+    def check_partition(self) -> None:
+        """Every bucket maps to exactly one live group (sanity invariant)."""
+        for bucket, owner in enumerate(self._owner):
+            if not 0 <= owner < self.num_groups:
+                raise AssertionError(
+                    f"bucket {bucket} routed to nonexistent group {owner}"
+                )

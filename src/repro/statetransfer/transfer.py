@@ -87,6 +87,51 @@ def combined_state_digest(service_digest: bytes, reply_sum: int) -> bytes:
     return digest(pack(service_digest, reply_sum.to_bytes(DIGEST_SIZE, "big")))
 
 
+def verify_page_payload(index: int, payload: bytes, expected: int) -> bool:
+    """True when a fetched page's bytes hash to the proven content digest.
+
+    The same per-page check the hierarchical fetcher applies to DATA
+    replies; bucket migration (:mod:`repro.sharding.migration`) reuses it
+    to reject forged pages served by Byzantine source replicas.
+    """
+    return content_page_digest(index, payload) == expected
+
+
+def vote_page_digests(
+    claims: Dict[str, Dict[int, Optional[int]]], need: int
+) -> Tuple[Dict[int, Optional[int]], Set[int]]:
+    """Agree on per-page content digests claimed by multiple replicas.
+
+    ``claims`` maps a sender to its claimed page-index -> digest map
+    (``None`` marks a page the sender claims is absent).  A value wins a
+    page when at least ``need`` senders claim it — with ``need = f + 1``
+    at least one of them is honest, so the winning digest is the honest
+    one.  Returns the agreed map plus the set of pages where no value
+    reached ``need`` votes (the caller must gather more claims or fail).
+
+    This is the migration-side analogue of the transfer fetcher's
+    META-DATA proof: instead of chaining digests from a checkpoint
+    certificate, the coordinator cross-checks the digests claimed by the
+    source group's replicas directly.
+    """
+    indexes: Set[int] = set()
+    for claim in claims.values():
+        indexes.update(claim)
+    agreed: Dict[int, Optional[int]] = {}
+    undecided: Set[int] = set()
+    for index in indexes:
+        votes: Dict[Optional[int], int] = {}
+        for claim in claims.values():
+            value = claim.get(index)
+            votes[value] = votes.get(value, 0) + 1
+        winner = max(votes.items(), key=lambda item: item[1])
+        if winner[1] >= need:
+            agreed[index] = winner[0]
+        else:
+            undecided.add(index)
+    return agreed, undecided
+
+
 @dataclass
 class TransferMetrics:
     """Counters for the state-transfer benchmarks."""

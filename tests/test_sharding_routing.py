@@ -1,0 +1,232 @@
+"""Property tests for the shard router and the multi-group cluster.
+
+The routing layer's core invariants (ISSUE satellite):
+
+* every key routes to **exactly one** group in **every** epoch — the
+  ownership table is a total function from buckets to live groups at all
+  times, including across arbitrary migration schedules;
+* a randomized migration schedule preserves the union of the KV state
+  byte-identically, and the whole scenario (operations, migrations,
+  modeled migration costs) is bit-identical between the optimized
+  simulator and ``hotpath.caches_disabled()``;
+* requests in flight while their bucket range migrates are redirected to
+  the new owner, never lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hotpath
+from repro.services.kvstore import KeyValueStore
+from repro.sharding import ShardedKVCluster
+from repro.sharding.router import ShardRouter, key_of_operation
+
+
+# ------------------------------------------------------------- pure router
+@settings(max_examples=60, deadline=None)
+@given(
+    num_groups=st.integers(min_value=1, max_value=6),
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4095),  # range start
+            st.integers(min_value=1, max_value=300),  # range length
+            st.integers(min_value=0, max_value=5),  # target group
+        ),
+        max_size=8,
+    ),
+    keys=st.lists(st.binary(min_size=1, max_size=12), max_size=20),
+)
+def test_every_key_routes_to_exactly_one_group_in_every_epoch(
+    num_groups, schedule, keys
+):
+    router = ShardRouter(num_groups=num_groups)
+    for start, length, target in schedule:
+        target %= num_groups
+        buckets = [b % router.num_buckets for b in range(start, start + length)]
+        owners = {router.group_of_bucket(b) for b in buckets}
+        if owners == {target}:
+            continue  # a real migration never targets the current owner
+        router.assign(buckets, target)
+    assert router.epoch == len(router.ownership_history) - 1
+    for epoch, table in enumerate(router.ownership_history):
+        assert len(table) == router.num_buckets
+        assert all(0 <= owner < num_groups for owner in table)
+        for key in keys:
+            owner_groups = [
+                group
+                for group in range(num_groups)
+                if table[router.bucket_of_key(key)] == group
+            ]
+            assert len(owner_groups) == 1, (epoch, key)
+    router.check_partition()
+
+
+def test_initial_assignment_is_balanced_and_contiguous():
+    for groups in (1, 2, 3, 4, 8):
+        router = ShardRouter(num_groups=groups)
+        table = router.ownership()
+        # Contiguous: owners never decrease along the bucket space.
+        assert all(table[i] <= table[i + 1] for i in range(len(table) - 1))
+        # Balanced: slice sizes differ by at most one bucket.
+        sizes = [len(router.buckets_owned_by(g)) for g in range(groups)]
+        assert sum(sizes) == router.num_buckets
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_key_of_operation_parsing():
+    assert key_of_operation(b"SET alpha 1") == b"alpha"
+    assert key_of_operation(b"GET alpha") == b"alpha"
+    assert key_of_operation(b"DEL alpha") == b"alpha"
+    assert key_of_operation(b"CAS alpha 1 2") == b"alpha"
+    assert key_of_operation(b"KEYS") is None
+    assert key_of_operation(b"") is None
+
+
+# --------------------------------------------------- randomized migrations
+def _make_schedule(seed: int, groups: int = 3, steps: int = 5):
+    """Precompute a deterministic interleaving of writes, deletes and
+    migration draws as plain data, so the cluster run and the expected
+    replay consume exactly the same stream."""
+    from repro.sim.rng import SimRandom
+
+    rng = SimRandom(seed).fork("schedule")
+    keys = [b"k%02d" % i for i in range(24)]
+    schedule = []
+    for step in range(steps):
+        ops = []
+        for _ in range(6):
+            key = keys[rng.randint(0, len(keys) - 1)]
+            if rng.chance(0.2):
+                ops.append((b"DEL " + key, key, None))
+            else:
+                value = b"v%d.%d" % (step, rng.randint(0, 99))
+                ops.append((b"SET " + key + b" " + value, key, value))
+        source = rng.randint(0, groups - 1)
+        target = (source + 1 + rng.randint(0, groups - 2)) % groups
+        start_draw = rng.randint(0, 999_999)
+        length = rng.randint(1, 200)
+        schedule.append((ops, source, target, start_draw, length))
+    return schedule
+
+
+def _run_schedule(seed: int) -> dict:
+    sharded = ShardedKVCluster(groups=3, f=1, checkpoint_interval=4, seed=seed)
+    client = sharded.new_client()
+    migrations = []
+    for ops, source, target, start_draw, length in _make_schedule(seed):
+        for operation, _key, _value in ops:
+            client.invoke(operation)
+        owned = sharded.router.buckets_owned_by(source)
+        if not owned:
+            continue
+        start = start_draw % len(owned)
+        moved = owned[start : start + length]
+        metrics = sharded.migrate_buckets(moved, target)
+        migrations.append(metrics.modeled_view())
+    union = sharded.state_union()
+    assert sharded.group_digests_converged()
+    sharded.router.check_partition()
+    return {
+        "union": tuple(sorted(union.items())),
+        "migrations": tuple(
+            tuple(
+                sorted(
+                    (
+                        (k, tuple(sorted(v.items())) if isinstance(v, dict) else v)
+                        for k, v in m.items()
+                    )
+                )
+            )
+            for m in migrations
+        ),
+        "epoch": sharded.router.epoch,
+        "ownership": sharded.router.ownership(),
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_randomized_migration_schedule_preserves_state_union(seed):
+    """The union of the groups' KV state after a randomized migration
+    schedule equals the state of a single unsharded store executing the
+    same operation stream, byte for byte — and the entire scenario
+    (state, routing tables, modeled migration costs) is bit-identical
+    between the optimized and caches-disabled simulator."""
+    optimized = _run_schedule(seed)
+    with hotpath.caches_disabled():
+        baseline = _run_schedule(seed)
+    assert optimized == baseline
+
+    # Replay the same operation stream on a plain dict to get the
+    # expected union (fence keys are migration-internal extras).
+    expected: dict = {}
+    for ops, *_migration in _make_schedule(seed):
+        for _operation, key, value in ops:
+            if value is None:
+                expected.pop(key, None)
+            else:
+                expected[key] = value
+    union = dict(optimized["union"])
+    fence_keys = {k for k in union if k.startswith(b"__fence:")}
+    assert {k: v for k, v in union.items() if k not in fence_keys} == expected
+    assert len(union) == len(expected) + len(fence_keys)
+
+
+# ------------------------------------------------------------- redirection
+def test_in_flight_requests_for_moved_keys_are_redirected():
+    """Operations submitted while their bucket's range is mid-migration
+    are queued by the router and re-issued at the new owner under the new
+    epoch — the chain completes and the final value lands in the target
+    group."""
+    sharded = ShardedKVCluster(groups=2, f=1, checkpoint_interval=4)
+    hot_key = b"hot"
+    hot_bucket = KeyValueStore.bucket_of(hot_key)
+    source = sharded.router.group_of_bucket(hot_bucket)
+    target = 1 - source
+
+    total_ops = 8
+    state = {"issued": 1, "done": 0}
+
+    def on_complete(completed) -> None:
+        state["done"] += 1
+        if state["issued"] < total_ops:
+            value = state["issued"]
+            state["issued"] += 1
+            client.submit(b"SET hot v%d" % value)
+
+    client = sharded.new_client(on_complete=on_complete)
+    client.submit(b"SET hot v0", external=True)
+
+    # The migration quiesces the groups (driving the chain into the
+    # frozen-bucket queue), moves the range, then flushes the queue to
+    # the new owner.
+    metrics = sharded.migrate_buckets([hot_bucket], target)
+    assert metrics.redirected_ops >= 1
+    sharded.run(stop_when=lambda: state["done"] >= total_ops,
+                duration=60_000_000.0)
+    assert state["done"] == total_ops
+
+    assert sharded.router.group_of_bucket(hot_bucket) == target
+    assert sharded.router.epoch == 1
+    # The final value is served by the new owner...
+    reader = sharded.new_client()
+    assert reader.invoke(b"GET hot", read_only=True) == b"v%d" % (total_ops - 1)
+    # ...and lives only there.
+    for group in range(2):
+        replica0 = sharded.group(group).replicas[f"g{group}:replica0"]
+        present = replica0.service.get(hot_key) is not None
+        assert present == (group == target)
+
+
+def test_keys_fan_out_merges_all_groups():
+    sharded = ShardedKVCluster(groups=2, f=1, checkpoint_interval=8)
+    client = sharded.new_client()
+    written = []
+    for i in range(10):
+        key = b"fan%02d" % i
+        client.invoke(b"SET " + key + b" x")
+        written.append(key)
+    groups_used = {sharded.router.group_of_key(k) for k in written}
+    assert groups_used == {0, 1}, "test keys should span both groups"
+    assert client.invoke(b"KEYS") == b",".join(sorted(written))
