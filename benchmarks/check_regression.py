@@ -44,6 +44,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 for _path in (os.path.join(REPO_ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
     if _path not in sys.path:
         sys.path.insert(0, _path)
+import test_bench_batch_exec as _bench_batchexec
 import test_bench_checkpoint_pipeline as _bench_checkpoint
 import test_bench_hotpath as _bench_hotpath
 import test_bench_sharding as _bench_sharding
@@ -78,6 +79,17 @@ EXPERIMENTS = {
         "ratio_key": "bytes_ratio",
         "side_metric": "bytes_fetched",
         "deterministic": True,
+    },
+    "batchexec": {
+        "record": "BENCH_batchexec.json",
+        "module": "benchmarks/test_bench_batch_exec.py",
+        "speedup_floor": _bench_batchexec.FULL_SPEEDUP_FLOOR,
+        # The headline gates the load-invariant optimized/baseline ratio;
+        # the batch-size-16, mixed-read and Zipfian rows ride along
+        # ungated (their ratios are informational but must exist).
+        "required_workload_fragments": [
+            "headline", "max_batch_size=16", "mixed", "Zipfian",
+        ],
     },
     "sharding": {
         "record": "BENCH_sharding.json",

@@ -34,8 +34,11 @@ from repro.bench import (
     preload_sharded_kv_state,
     run_sharded_closed_loop,
     run_sharded_kv_churn,
+    zipf_group_load,
+    zipf_key_sequences,
 )
 from repro.sharding import ShardedKVCluster
+from repro.sharding.router import ShardRouter
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_PATH = os.path.join(
@@ -71,12 +74,24 @@ def _scaling_run(
         value_size=value_size,
     )
     assert sharded.group_digests_converged()
+    # Per-group load balance: how evenly the churn stream's CRC-32 bucket
+    # partitioning spread the executed requests over the groups.  The
+    # imbalance factor is max-group load over the perfectly-even share
+    # (1.0 = perfectly balanced); the Zipfian companion stat below shows
+    # what a skewed key distribution does to the same partitioning.
+    group_load = [
+        sharded.group(g).primary_replica().metrics.requests_executed
+        for g in range(groups)
+    ]
+    even_share = sum(group_load) / max(1, groups)
     return {
         "groups": groups,
         "completed": result.completed,
         "elapsed_us": round(result.elapsed, 3),
         "metric": round(result.ops_per_second, 2),
         "mean_latency_us": round(result.mean_latency, 2),
+        "group_load": group_load,
+        "load_imbalance": round(max(group_load) / max(1e-9, even_share), 3),
         "wall_seconds": round(time.perf_counter() - wall_start, 4),
     }
 
@@ -172,6 +187,24 @@ def run_experiment(smoke: bool, scale) -> dict:
     }
     macro.append(migration_row)
 
+    # Per-group load imbalance of a Zipfian (skewed-key) schedule under
+    # the same contiguous bucket partitioning, next to the uniform churn
+    # stream's imbalance measured in the scaling rows.  Pure routing
+    # arithmetic over the deterministic key schedule — no cluster run.
+    router = ShardRouter(num_groups=4)
+    sequences = zipf_key_sequences(
+        num_clients=scale(32, 8), operations_per_client=scale(30, 10),
+        key_space=scale(256, 64), skew=0.99,
+    )
+    zipf_load = zipf_group_load(sequences, router.group_of_key, 4)
+    zipf_total = sum(zipf_load)
+    zipfian_imbalance = {
+        "groups": 4,
+        "skew": 0.99,
+        "group_load": zipf_load,
+        "load_imbalance": round(max(zipf_load) / (zipf_total / 4), 3),
+    }
+
     scaling4 = macro[1]["ratio"]
     return {
         "experiment": "sharding",
@@ -180,6 +213,7 @@ def run_experiment(smoke: bool, scale) -> dict:
         "headline_workload": migration_row["workload"],
         "headline_migration_bytes_ratio": migration_row["ratio"],
         "scaling_4group_ratio": scaling4,
+        "zipfian_imbalance": zipfian_imbalance,
         "macro": macro,
     }
 

@@ -44,6 +44,45 @@ def main() -> None:
     print("all replicas agree:", len(honest) == 1)
 
 
+def batched() -> None:
+    """Throughput flavour: the batch-execution pipeline (Section 5.1.4).
+
+    Tuning notes — ``ProtocolOptions.max_batch_size`` caps how many
+    requests one protocol instance orders; ``pipeline_depth`` bounds how
+    many batches run concurrently.  A *small* pipeline depth is what
+    makes batches form: with depth 1, requests queue at the primary while
+    one batch is in flight and the next pre-prepare carries all of them,
+    so per-request protocol cost is amortized across the batch.  Deep
+    pipelines drain the queue eagerly and keep batches small (low
+    latency, less amortization).  The replica executes each committed
+    batch through one ``Service.execute_batch`` call — memoized operation
+    parsing, one dirty-page bookkeeping pass, bulk-built and batch-signed
+    replies, one delivery train for the whole reply fan-out — toggleable
+    via ``repro.hotpath.batch_execution_disabled()`` for baseline
+    measurement; modeled results are bit-identical either way (E18,
+    ``benchmarks/test_bench_batch_exec.py``).
+    """
+    import dataclasses
+
+    from repro.core.config import DEFAULT_OPTIONS
+
+    print()
+    options = dataclasses.replace(DEFAULT_OPTIONS, max_batch_size=64,
+                                  pipeline_depth=1)
+    cluster = BFTCluster.create(f=1, service_factory=KeyValueStore,
+                                checkpoint_interval=16, options=options)
+    from repro.bench import run_kv_value_churn
+
+    result = run_kv_value_churn(cluster, num_clients=32,
+                                operations_per_client=8, value_size=256)
+    primary = cluster.primary_replica()
+    mean_batch = (primary.metrics.requests_executed
+                  / max(1, primary.metrics.batches_committed))
+    print(f"batched closed loop: {result.completed} ops, "
+          f"mean batch size {mean_batch:.1f}, "
+          f"{result.ops_per_second:.0f} modeled ops/sec")
+
+
 def sharded() -> None:
     """Scale-out flavour: two replica groups, keys hash-partitioned over
     CRC-32 buckets, and a live bucket-range migration between groups."""
@@ -73,4 +112,5 @@ def sharded() -> None:
 
 if __name__ == "__main__":
     main()
+    batched()
     sharded()

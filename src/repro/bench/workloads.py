@@ -9,12 +9,14 @@ previous one completes (the paper's client model).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.client import CompletedRequest
 from repro.library.cluster import BFTCluster, SyncClient
 from repro.services.null_service import encode_null_op
+from repro.sim.rng import SimRandom
 
 
 def micro_operation(arg_kb: float, result_kb: float, read_only: bool = False) -> bytes:
@@ -267,6 +269,92 @@ def run_kv_mixed(
             value_size=value_size,
         ),
     )
+
+
+# ---------------------------------------------------------- Zipfian skew
+def zipf_cdf(key_space: int, skew: float) -> List[float]:
+    """Cumulative distribution over key *ranks* ``0..key_space-1`` with
+    Zipf weight ``1 / (rank+1)**skew``; rank 0 is the hottest key."""
+    if key_space < 1:
+        raise ValueError("key_space must be positive")
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(key_space)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    return cdf
+
+
+def zipf_key_sequences(
+    num_clients: int,
+    operations_per_client: int,
+    key_space: int = 256,
+    skew: float = 0.99,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Per-client sequences of Zipf-skewed key ranks.
+
+    Drawn up front from one :class:`~repro.sim.rng.SimRandom` stream in a
+    fixed nested order, so the sequence is a pure function of the
+    arguments — completion order inside the simulation can never perturb
+    it, which keeps optimized and baseline runs on identical streams.
+    """
+    rng = SimRandom(seed).fork(f"zipf:{key_space}:{skew}")
+    cdf = zipf_cdf(key_space, skew)
+    return [
+        [bisect_left(cdf, rng.random()) for _ in range(operations_per_client)]
+        for _ in range(num_clients)
+    ]
+
+
+def run_kv_zipfian(
+    cluster,
+    num_clients: int,
+    operations_per_client: int,
+    key_space: int = 256,
+    value_size: int = 1024,
+    skew: float = 0.99,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Closed-loop KV churn with Zipfian (skewed) key popularity — the
+    ROADMAP's open workload item.
+
+    ``skew`` ~0.99 approximates the YCSB-style hot-key distribution: a
+    handful of keys absorb most writes, which concentrates dirty pages,
+    stresses per-bucket contention, and (through the CRC-32 bucket
+    partitioning) loads a sharded deployment's groups unevenly — the
+    per-group load-imbalance statistic E16 reports.  Works with both a
+    plain :class:`~repro.library.cluster.BFTCluster` and a sharded
+    cluster.  Deterministic via :class:`~repro.sim.rng.SimRandom`.
+    """
+    sequences = zipf_key_sequences(
+        num_clients, operations_per_client, key_space=key_space,
+        skew=skew, seed=seed,
+    )
+
+    def factory(client_index: int, op_index: int) -> Tuple[bytes, bool]:
+        rank = sequences[client_index][op_index]
+        key = b"zipf%05d" % rank
+        value = bytes([65 + (client_index + op_index) % 26]) * value_size
+        return (b"SET " + key + b" " + value, False)
+
+    return run_closed_loop(
+        cluster, num_clients, operations_per_client, factory
+    )
+
+
+def zipf_group_load(
+    sequences: Sequence[Sequence[int]], group_of_key: Callable[[bytes], int],
+    groups: int,
+) -> List[int]:
+    """Requests each group receives under a Zipf key-rank schedule."""
+    load = [0] * groups
+    for sequence in sequences:
+        for rank in sequence:
+            load[group_of_key(b"zipf%05d" % rank)] += 1
+    return load
 
 
 # ------------------------------------------------------------------ sharding

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hmac
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro import hotpath
 from repro.core.config import AuthMode
@@ -178,6 +178,54 @@ class Authentication:
         else:
             message.auth = MACAuth(self.owner, receiver, b"")
         return message
+
+    def point_to_point_signer(self) -> Callable[[Message, str], Message]:
+        """A per-batch point-to-point signing closure (MAC mode).
+
+        ``signer(message, receiver)`` behaves exactly like
+        :meth:`sign_point_to_point` — same charges, in the same order, with
+        the same values, and the same MAC tags out of the same pre-keyed
+        HMAC context family — but the per-call mode dispatch, attribute
+        lookups and cost-model indirection are hoisted out of the loop.
+        This is what lets the replica's batch pipeline sign a 64-reply
+        fan-out without re-resolving the signing configuration 64 times.
+        Falls back to the plain method outside the batchable configuration
+        (signature mode, or no environment bound to charge against).
+        """
+        if self.mode is AuthMode.SIGNATURE or self.env is None:
+            return self.sign_point_to_point
+        costs = self.costs
+        digest_fixed = costs.digest_fixed
+        digest_per_byte = costs.digest_per_byte
+        mac_cost = costs.mac
+        charge = self.env.charge
+        outbound = self.keys.outbound
+        key_for = self.keys.key_for_sending_to
+        owner = self.owner
+        real_crypto = self.real_crypto
+
+        def signer(message: Message, receiver: str) -> Message:
+            payload = message.payload_bytes()
+            charge(digest_fixed + digest_per_byte * len(payload))
+            if hotpath.CACHES_ENABLED:
+                signed = message.payload_digest()
+            else:
+                signed = digest(payload)
+            charge(mac_cost)
+            if real_crypto and receiver in outbound:
+                # Fresh per-reply payloads never repeat, so the per-(peer,
+                # key, digest) tag cache would only pay insertion cost here;
+                # compute the tag straight from the pre-keyed HMAC context
+                # family instead (a later re-sign of the same cached reply
+                # simply recomputes — same tag, wall-clock only).
+                message.auth = MACAuth(
+                    owner, receiver, compute_mac(key_for(receiver), signed)
+                )
+            else:
+                message.auth = MACAuth(owner, receiver, b"")
+            return message
+
+        return signer
 
     # ------------------------------------------------------------ verification
     def verify(self, message: Message) -> bool:

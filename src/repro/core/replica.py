@@ -56,7 +56,8 @@ from repro.core.viewchange import (
     verify_new_view,
 )
 from repro import hotpath
-from repro.crypto.digests import NULL_DIGEST, digest
+from repro.core.messages import pack
+from repro.crypto.digests import DIGEST_SIZE, NULL_DIGEST, digest
 from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
 from repro.services.interface import Service
 from repro.statetransfer.partition_tree import ADHASH_MODULUS, content_page_digest
@@ -69,6 +70,12 @@ from repro.statetransfer.transfer import (
 VIEW_CHANGE_TIMER = "view-change"
 STATUS_TIMER = "status"
 KEY_REFRESH_TIMER = "key-refresh"
+
+#: Bound on the batch pipeline's result-digest memo (result bytes ->
+#: digest); cleared wholesale when exceeded.  KV-style services return a
+#: small set of distinct results (``OK``, ``MISSING``, read values), so
+#: the memo collapses one digest computation per reply to a dict hit.
+_RESULT_DIGEST_MEMO_LIMIT = 2048
 
 
 class ReplicaStatus(enum.Enum):
@@ -193,6 +200,17 @@ class Replica:
         #: Attached by the recovery manager / state transfer manager.
         self.state_transfer = None
         self.recovery = None
+
+        #: Batch-pipeline memos (wall-clock only — both map pure functions,
+        #: so a stale entry can never change a value, only cost a recompute).
+        #: ``_result_digest_memo``: result bytes -> digest(result).
+        #: ``_reply_entry_memo``: client -> (timestamp, AdHash entry), the
+        #: subtrahend of the next reply-digest delta for that client.
+        self._result_digest_memo: Dict[bytes, bytes] = {}
+        self._reply_entry_memo: Dict[str, Tuple[int, int]] = {}
+        #: client -> canonical ``pack(client)`` encoding, for the bulk
+        #: reply encoder (clients repeat every batch).
+        self._client_enc_memo: Dict[str, bytes] = {}
 
         if self.options.batching:
             self._max_batch = max(1, self.options.max_batch_size)
@@ -578,9 +596,206 @@ class Replica:
             request = self.log.request_by_digest(request_digest)
             if request is not None:
                 requests.append(request)
-        for request in requests:
-            self._execute_request(request, pre_prepare.nondet, tentative)
+        if hotpath.BATCH_EXECUTION_ENABLED:
+            self._execute_batch(requests, pre_prepare.nondet, tentative)
+        else:
+            for request in requests:
+                self._execute_request(request, pre_prepare.nondet, tentative)
         self.env.record("batch-executed", seq=slot.seq, tentative=tentative)
+
+    def _execute_batch(
+        self, requests: List[Request], nondet: bytes, tentative: bool
+    ) -> None:
+        """Commit-side batch pipeline (Section 5.1.4's throughput case).
+
+        Byte- and charge-identical to running :meth:`_execute_request` per
+        request — the same replies, state, digests, modeled costs (issued
+        in the same order with the same values) and send order — but the
+        per-request overheads are amortized across the batch:
+
+        * timestamps are deduplicated in one pass (retransmissions ordered
+          into the batch re-send the cached reply at their position, as
+          the per-request path does since the Section 3.1 fix);
+        * the service executes the whole batch through one
+          :meth:`~repro.services.interface.Service.execute_batch` call
+          (memoized operation parsing, one dirty-set pass);
+        * the reply-table AdHash delta accumulates as a plain integer and
+          is reduced modulo once per batch;
+        * replies are built in bulk with memoized result digests and
+          signed through one per-batch point-to-point signer; and
+        * the whole reply fan-out goes to the network through
+          ``Env.send_many``, which builds a single delivery train.
+        """
+        last_ts = self.last_reply_timestamp
+        last_reply = self.last_reply
+        caches_on = hotpath.CACHES_ENABLED
+        #: Execution plan, in request order: a Request executes; a plain
+        #: ``str`` (the client) re-sends that client's cached reply.
+        plan: List[object] = []
+        ops: List[Tuple[bytes, str, Optional[bytes]]] = []
+        batch_ts: Dict[str, int] = {}
+        for request in requests:
+            if request.is_null:
+                continue
+            client = request.client
+            timestamp = request.timestamp
+            previous = batch_ts.get(client)
+            if previous is None:
+                previous = last_ts.get(client, 0)
+            if timestamp <= previous:
+                if timestamp == previous:
+                    plan.append(client)
+                continue
+            batch_ts[client] = timestamp
+            plan.append(request)
+            ops.append(
+                (
+                    request.operation,
+                    client,
+                    request.request_digest() if caches_on else None,
+                )
+            )
+        if not plan:
+            return
+        outcomes = (
+            self.service.execute_batch(ops, nondet=nondet) if ops else []
+        )
+
+        env = self.env
+        charge = env.charge
+        params = self.params
+        exec_fixed = params.execution_fixed
+        exec_per_byte = params.execution_per_byte
+        options = self.options
+        digest_replies = options.digest_replies
+        digest_threshold = options.digest_replies_threshold
+        sign = self.auth.point_to_point_signer()
+        result_digests = self._result_digest_memo
+        entry_memo = self._reply_entry_memo
+        undo = self._tentative_undo
+        view = self.view
+        own_id = self.id
+        sends: List[Tuple[str, Reply]] = []
+        reply_delta = 0
+        executed = 0
+        outcome_index = 0
+        if caches_on:
+            # Bulk reply encoder: the canonical ``payload_bytes`` of every
+            # reply in the batch shares the constant pieces — type tag,
+            # sender, view, replica, tentative flag — so they are encoded
+            # once per batch and each reply's payload is a 6-piece join of
+            # memoized fragments.  Byte-identical to ``pack(...)`` (the
+            # property tests assert it); the per-instance payload caches
+            # are prefilled so signing and downstream verification reuse
+            # the bytes without re-encoding.
+            reply_prefix = pack("Reply", own_id, view)
+            replica_enc = pack(own_id)
+            tent_enc = b"B1" if tentative else b"B0"
+            rd_prefix = b"Y" + DIGEST_SIZE.to_bytes(4, "big")
+            client_encs = self._client_enc_memo
+            join = b"".join
+        for entry in plan:
+            if type(entry) is str:
+                # Retransmission ordered into the batch: re-send the cached
+                # reply (built earlier in this very batch, or before it).
+                cached = last_reply.get(entry)
+                if cached is not None:
+                    sign(cached, entry)
+                    sends.append((entry, cached))
+                continue
+            request = entry
+            outcome = outcomes[outcome_index]
+            outcome_index += 1
+            result = outcome.result
+            charge(
+                exec_fixed
+                + exec_per_byte * (len(request.operation) + len(result))
+            )
+            executed += 1
+            client = request.client
+            timestamp = request.timestamp
+            previous = last_ts.get(client)
+            if tentative:
+                undo.append((client, previous, last_reply.get(client)))
+            new_entry = _reply_entry_digest(client, timestamp)
+            reply_delta += new_entry
+            if previous is not None:
+                memo = entry_memo.get(client)
+                if memo is not None and memo[0] == previous:
+                    reply_delta -= memo[1]
+                else:
+                    reply_delta -= _reply_entry_digest(client, previous)
+            entry_memo[client] = (timestamp, new_entry)
+            last_ts[client] = timestamp
+            result_digest = result_digests.get(result)
+            if result_digest is None:
+                result_digest = digest(result)
+                if len(result_digests) >= _RESULT_DIGEST_MEMO_LIMIT:
+                    result_digests.clear()
+                result_digests[result] = result_digest
+            reply = Reply(
+                view=view,
+                timestamp=timestamp,
+                client=client,
+                replica=own_id,
+                result=result,
+                result_digest=result_digest,
+                tentative=tentative,
+                sender=own_id,
+            )
+            last_reply[client] = reply
+            if caches_on:
+                client_enc = client_encs.get(client)
+                if client_enc is None:
+                    client_enc = pack(client)
+                    client_encs[client] = client_enc
+                ts_enc = str(timestamp).encode()
+                payload = join(
+                    (
+                        reply_prefix,
+                        b"I",
+                        len(ts_enc).to_bytes(4, "big"),
+                        ts_enc,
+                        client_enc,
+                        replica_enc,
+                        rd_prefix,
+                        result_digest,
+                        tent_enc,
+                    )
+                )
+                cache = reply.__dict__
+                cache["_payload_bytes_cache"] = payload
+                cache["_payload_digest_cache"] = digest(payload)
+            if (
+                digest_replies
+                and len(result) >= digest_threshold
+                and request.designated_replier is not None
+                and request.designated_replier != own_id
+            ):
+                stripped = Reply(
+                    view=view,
+                    timestamp=timestamp,
+                    client=client,
+                    replica=own_id,
+                    result=None,
+                    result_digest=result_digest,
+                    tentative=tentative,
+                    sender=own_id,
+                )
+                if caches_on:
+                    # ``result`` is excluded from the canonical payload, so
+                    # the stripped variant shares the full reply's bytes.
+                    stripped.__dict__["_payload_bytes_cache"] = payload
+                    stripped.__dict__["_payload_digest_cache"] = (
+                        reply.__dict__["_payload_digest_cache"]
+                    )
+                reply = stripped
+            sign(reply, client)
+            sends.append((client, reply))
+        self.metrics.requests_executed += executed
+        self._executed_since_checkpoint += executed
+        self._reply_digest = (self._reply_digest + reply_delta) % ADHASH_MODULUS
+        env.send_many(sends)
 
     def _execute_request(
         self, request: Request, nondet: bytes, tentative: bool
@@ -590,6 +805,17 @@ class Replica:
         client = request.client
         last_timestamp = self.last_reply_timestamp.get(client, 0)
         if request.timestamp <= last_timestamp:
+            # A retransmission of an already-executed request that the
+            # primary ordered into a batch: Section 3.1 says the replica
+            # re-sends the cached reply whenever it receives a request it
+            # has already executed — dropping it here silently (as this
+            # path once did) left clients whose replies were lost waiting
+            # for their retransmission timer even though the request went
+            # through the protocol again.
+            if request.timestamp == last_timestamp:
+                cached = self.last_reply.get(client)
+                if cached is not None:
+                    self._send_reply_message(cached, cache=False)
             return
         outcome = self.service.execute(request.operation, client, nondet=nondet)
         self.env.charge(
@@ -714,8 +940,16 @@ class Replica:
         if message.seq <= self.stable_checkpoint_seq:
             return
         record = self.log.checkpoint_record(message.seq)
-        if record.add(message):
-            self._check_checkpoint_stable(message.seq)
+        record.add(message)
+        # Re-evaluate stability even for duplicate messages: whether a
+        # completed certificate is *actionable* depends on state that
+        # changes after it first completes (view activity, water marks,
+        # our own checkpoints) — and a peer retransmitting its stable
+        # checkpoint is precisely the signal that the group has moved on
+        # while we have not.  Edge-triggering this check once wedged a
+        # healed replica forever: its certificate completed while the
+        # trigger conditions were false, and no later receipt re-ran it.
+        self._check_checkpoint_stable(message.seq)
 
     def _checkpoint_stability_threshold(self) -> int:
         """BFT needs a quorum certificate for stability (Section 3.2.3);
@@ -737,8 +971,17 @@ class Replica:
         own = self.checkpoints.get(seq)
         if own is None:
             # We have proof that a checkpoint we do not hold is stable: we
-            # are out of date and must fetch state (Section 5.3.2).
-            if seq > self.log.high_water_mark:
+            # are out of date and must fetch state (Section 5.3.2).  The
+            # boundary case matters: once the certificate reaches our high
+            # water mark, peers that made ``seq`` stable have garbage-
+            # collected every slot up to it, so the prepares/commits we
+            # are missing can never be retransmitted — waiting (as the old
+            # strict ``>`` did) deadlocked a lagging replica exactly at
+            # ``stable + log_size`` under heavy batching load.  A replica
+            # whose view is not active cannot commit forward through the
+            # normal case at all (its group moved on without it), so for
+            # it any certified checkpoint it does not hold is fetchable.
+            if seq >= self.log.high_water_mark or not self.active_view:
                 self._request_state_transfer(seq, stable_digest)
             return
         if own.state_digest != stable_digest:
@@ -867,6 +1110,20 @@ class Replica:
         self._state_version_at_checkpoint = self.service.state_version
         self.stable_checkpoint_seq = seq
         self.log.collect_garbage(seq)
+
+    def recheck_newer_checkpoints(self, seq: int) -> None:
+        """Re-examine checkpoint records newer than ``seq``.
+
+        Called by the state-transfer manager *after* it has wound down a
+        completed transfer: a newer checkpoint may have been certified
+        while the transfer was in flight, and re-checking here chains the
+        next fetch immediately instead of waiting for a retransmission.
+        (It must not run during the install itself — a ``start`` issued
+        mid-install would be wiped by the manager's own wind-down.)
+        """
+        for newer_seq in sorted(self.log.checkpoints):
+            if newer_seq > seq:
+                self._check_checkpoint_stable(newer_seq)
 
     # =====================================================================
     # View changes
@@ -1208,12 +1465,14 @@ class Replica:
     # =====================================================================
     def _send_status(self) -> None:
         if self.active_view:
-            outstanding = [
-                slot for slot in self.log.slots.values()
-                if slot.pre_prepare is not None and not slot.executed
-            ]
-            if not outstanding and not self.view_change_states:
-                return
+            # Receiver-based recovery (Section 5.2) only works if the
+            # periodic status goes out even when this replica *believes*
+            # nothing is outstanding: a backup that dropped a pre-prepare
+            # as out-of-window has no record it exists, and only its
+            # status (last-executed below the primary's seqno) prompts the
+            # primary to retransmit it.  An earlier "skip when idle"
+            # fast-out here silenced exactly those replicas and wedged the
+            # group under heavy batching load.
             message = StatusActive(
                 view=self.view,
                 last_stable=self.stable_checkpoint_seq,
@@ -1237,6 +1496,23 @@ class Replica:
         self.auth.sign_multicast(message, self.others())
         self.env.broadcast(self.others(), message)
 
+    def _retransmit_stable_checkpoint(self, peer: str) -> None:
+        """Unicast our stable checkpoint to a peer whose status shows it
+        behind (Section 5.2) — shared by the active and pending handlers,
+        since a peer stuck in a view change also needs the certificate to
+        state-transfer forward."""
+        own = self.checkpoints.get(self.stable_checkpoint_seq)
+        if own is None:
+            return
+        checkpoint = Checkpoint(
+            seq=self.stable_checkpoint_seq,
+            state_digest=own.state_digest,
+            replica=self.id,
+            sender=self.id,
+        )
+        self.auth.sign_point_to_point(checkpoint, peer)
+        self.env.send(peer, checkpoint)
+
     def handle_status_active(self, message: StatusActive) -> None:
         if message.view != self.view or not self.active_view:
             return
@@ -1244,16 +1520,7 @@ class Replica:
         # Retransmit what the peer is missing and we have, using unicast
         # (receiver-based recovery, Section 5.2).
         if message.last_stable < self.stable_checkpoint_seq:
-            own = self.checkpoints.get(self.stable_checkpoint_seq)
-            if own is not None:
-                checkpoint = Checkpoint(
-                    seq=self.stable_checkpoint_seq,
-                    state_digest=own.state_digest,
-                    replica=self.id,
-                    sender=self.id,
-                )
-                self.auth.sign_point_to_point(checkpoint, peer)
-                self.env.send(peer, checkpoint)
+            self._retransmit_stable_checkpoint(peer)
         prepared = set(message.prepared_seqs)
         committed = set(message.committed_seqs)
         for slot in self.log.slots.values():
@@ -1277,6 +1544,15 @@ class Replica:
 
     def handle_status_pending(self, message: StatusPending) -> None:
         peer = message.replica
+        # A peer stuck in a view change the group never joined may have
+        # state transfer as its only way forward, and it can only fetch a
+        # checkpoint it holds a certificate for — so retransmit our stable
+        # checkpoint exactly as for active peers (Section 5.2).  Without
+        # this, a replica that missed some of the original CHECKPOINT
+        # multicasts while partitioned could never assemble the
+        # certificate and stayed wedged behind the group forever.
+        if message.last_stable < self.stable_checkpoint_seq:
+            self._retransmit_stable_checkpoint(peer)
         state = self.view_change_states.get(message.view)
         # Retransmit our view-change message for the view the peer is in.
         if state is not None:

@@ -13,6 +13,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import hotpath
 from repro.core.auth import Authentication, build_session_keys
 from repro.core.client import Client, CompletedRequest
 from repro.core.config import DEFAULT_OPTIONS, ProtocolOptions, ReplicaSetConfig
@@ -45,6 +46,9 @@ class SimEnv(Env):
 
     def send(self, destination: str, message: Any) -> None:
         self._node.queue_send(destination, message)
+
+    def send_many(self, pairs: List[Tuple[str, Any]]) -> None:
+        self._node.queue_send_many(pairs)
 
     def broadcast(self, destinations: Tuple[str, ...], message: Any) -> None:
         for destination in destinations:
@@ -151,8 +155,11 @@ class ProtocolNode(Node):
         self.cpu_busy_total += self.pending_charge
         self.pending_charge = 0.0
         outbox, self._outbox = self._outbox, []
-        for destination, message in outbox:
-            self._transmit(destination, message)
+        if len(outbox) > 1 and hotpath.BATCH_EXECUTION_ENABLED:
+            self._transmit_many(outbox)
+        else:
+            for destination, message in outbox:
+                self._transmit(destination, message)
 
     # ------------------------------------------------------------------ sends
     def queue_send(self, destination: str, message: Any) -> None:
@@ -162,6 +169,13 @@ class ProtocolNode(Node):
             # Called from outside any handler (e.g. protocol set-up code):
             # transmit immediately.
             self._transmit(destination, message)
+
+    def queue_send_many(self, pairs: List[Tuple[str, Any]]) -> None:
+        if self._in_handler:
+            self._outbox.extend(pairs)
+        else:
+            for destination, message in pairs:
+                self._transmit(destination, message)
 
     def _transmit(self, destination: str, message: Any) -> None:
         message = self._apply_send_faults(destination, message)
@@ -176,6 +190,35 @@ class ProtocolNode(Node):
         if delay_fault is not None:
             not_before += delay_fault.delay
         self.network.send(self.name, destination, message, size, not_before=not_before)
+
+    def _transmit_many(self, outbox: List[Tuple[str, Any]]) -> None:
+        """Batch form of :meth:`_transmit`: the per-message CPU accounting
+        and fault checks run in the identical order with identical values,
+        but the network receives the whole flush in one call and builds a
+        single delivery train for it (``Network.send_many``)."""
+        injector = self.fault_injector
+        faulty = not injector.empty()
+        send_cpu_of = self.params.communication.send_cpu
+        name = self.name
+        deliveries: List[Tuple[str, Any, int, float]] = []
+        for destination, message in outbox:
+            if faulty:
+                message = self._apply_send_faults(destination, message)
+                if message is None:
+                    continue
+            size = message.wire_size() if hasattr(message, "wire_size") else 64
+            send_cpu = send_cpu_of(size)
+            self.cpu_available_at += send_cpu
+            self.cpu_busy_total += send_cpu
+            not_before = self.cpu_available_at
+            if faulty:
+                delay_fault = injector.get(
+                    name, FaultType.DELAY_MESSAGES, self.now
+                )
+                if delay_fault is not None:
+                    not_before += delay_fault.delay
+            deliveries.append((destination, message, size, not_before))
+        self.network.send_many(name, deliveries)
 
     def _apply_send_faults(self, destination: str, message: Any) -> Optional[Any]:
         injector = self.fault_injector

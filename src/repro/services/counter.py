@@ -13,9 +13,9 @@ value changed since the last checkpoint".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.services.interface import ExecutionResult, PagedService
+from repro.services.interface import BatchOp, ExecutionResult, PagedService
 
 
 class CounterService(PagedService):
@@ -61,6 +61,54 @@ class CounterService(PagedService):
             self._touch(0)
             return ExecutionResult(result=str(self.value).encode())
         return ExecutionResult(result=b"ERR bad-operation")
+
+    def execute_batch(
+        self, ops: Sequence[BatchOp], nondet: bytes = b""
+    ) -> List[ExecutionResult]:
+        """Per-op semantics of :meth:`execute`, with the single-page dirty
+        bookkeeping applied once per batch instead of once per mutation."""
+        results: List[ExecutionResult] = []
+        mutations = 0
+        allowed = self._allowed
+        for operation, client, _cache_key in ops:
+            parts = operation.split(b" ")
+            verb = parts[0].upper() if parts else b""
+            if verb == b"READ":
+                results.append(
+                    ExecutionResult(result=str(self.value).encode(),
+                                    was_read_only=True)
+                )
+                continue
+            if allowed is not None and client not in allowed:
+                results.append(ExecutionResult(result=b"ERR access-denied"))
+                continue
+            amount = 1
+            if len(parts) > 1:
+                try:
+                    amount = int(parts[1])
+                except ValueError:
+                    results.append(ExecutionResult(result=b"ERR bad-amount"))
+                    continue
+            if amount < 0:
+                results.append(ExecutionResult(result=b"ERR negative-amount"))
+                continue
+            if verb == b"INC":
+                self.value += amount
+                mutations += 1
+                results.append(ExecutionResult(result=str(self.value).encode()))
+            elif verb == b"DEC":
+                if self.value - amount < 0:
+                    results.append(ExecutionResult(result=b"ERR underflow"))
+                else:
+                    self.value -= amount
+                    mutations += 1
+                    results.append(
+                        ExecutionResult(result=str(self.value).encode())
+                    )
+            else:
+                results.append(ExecutionResult(result=b"ERR bad-operation"))
+        self._apply_batch_dirty((0,), mutations)
+        return results
 
     def is_read_only(self, operation: bytes) -> bool:
         return operation.split(b" ", 1)[0].upper() == b"READ"

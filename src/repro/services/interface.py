@@ -68,7 +68,7 @@ hierarchical transfer protocol can move only the pages that differ:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import hotpath
 from repro.crypto.digests import digest
@@ -88,6 +88,14 @@ class ExecutionResult:
     #: True when the operation did not modify the service state; used by the
     #: read-only check of Section 5.1.3.
     was_read_only: bool = False
+
+
+#: One operation of a batch handed to :meth:`Service.execute_batch`:
+#: ``(operation, client, cache_key)``.  ``cache_key`` is a stable identity
+#: for the operation — the replica passes the request digest — that
+#: services may use to memoize parsing across retransmissions; ``None``
+#: means "do not memoize" (the baseline path passes ``None``).
+BatchOp = Tuple[bytes, str, Optional[bytes]]
 
 
 class Service:
@@ -127,6 +135,24 @@ class Service:
         read_only: bool = False,
     ) -> ExecutionResult:
         raise NotImplementedError
+
+    def execute_batch(
+        self, ops: Sequence[BatchOp], nondet: bytes = b""
+    ) -> List[ExecutionResult]:
+        """Execute one committed batch of operations in order.
+
+        Must behave exactly like calling :meth:`execute` once per entry
+        (same results, same final state, same ``state_version`` total) —
+        the batch-execution pipeline (Section 5.1.4) relies on the two
+        paths being byte-identical and only differing in wall-clock cost.
+        Subclasses override to amortize per-operation work: parsing
+        (memoized on ``cache_key``), dirty-set and mutation-counter
+        bookkeeping.  The default is the per-op fallback.
+        """
+        return [
+            self.execute(operation, client, nondet=nondet)
+            for operation, client, _cache_key in ops
+        ]
 
     def is_read_only(self, operation: bytes) -> bool:
         """Service-specific check that an operation really is read-only.
@@ -311,6 +337,17 @@ class PagedService(Service):
     def _touch(self, index: int) -> None:
         self.state_version += 1
         self._dirty.add(index)
+
+    def _apply_batch_dirty(self, indexes: Iterable[int], mutations: int) -> None:
+        """One dirty-set/``state_version`` bookkeeping pass for a batch.
+
+        Equivalent to ``mutations`` individual :meth:`_touch` calls whose
+        indexes union to ``indexes`` — ``execute_batch`` implementations
+        accumulate locally and apply once, so a 64-operation batch costs
+        one set union and one counter add instead of 64."""
+        if mutations:
+            self.state_version += mutations
+            self._dirty.update(indexes)
 
     def dirty_pages(self) -> FrozenSet[int]:
         return frozenset(self._dirty)

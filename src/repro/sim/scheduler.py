@@ -18,6 +18,7 @@ import heapq
 from types import MappingProxyType
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import hotpath
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventKind
 
@@ -163,6 +164,7 @@ class Scheduler:
         queue = self._queue
         advance_to = self.clock.advance_to
         pop = heapq.heappop
+        push = heapq.heappush
         while queue:
             if stop_when is not None and stop_when():
                 break
@@ -178,10 +180,74 @@ class Scheduler:
                 advance_to(until)
                 break
             pop(queue)
-            self._push_successor(event)
+            if not hotpath.BATCH_EXECUTION_ENABLED:
+                self._push_successor(event)
+                advance_to(when)
+                self._dispatch(event)
+                dispatched += 1
+                continue
+            # Batch-pipeline train fast path: a dispatched train member's
+            # successor is dispatched directly — without a heap push/pop
+            # round trip — whenever nothing in the heap precedes it.  The
+            # dispatch sequence is provably the one the heap would produce:
+            # the successor is compared against the current heap top under
+            # the exact (time, sequence) order, and anything an event
+            # handler schedules lands in the heap before the comparison.
+            successor = event.after
+            event.after = None
             advance_to(when)
-            self._dispatch(event)
+            try:
+                self._dispatch(event)
+            except BaseException:
+                # A raising handler must not lose the train: return the
+                # pending successor to the heap (the non-fast path pushed
+                # it before dispatching) so a resumed run stays complete.
+                if successor is not None:
+                    push(queue, (successor.time, successor.sequence, successor))
+                    self._pushes += 1
+                raise
             dispatched += 1
+            while successor is not None:
+                if successor.cancelled:
+                    # A cancelled member leaves the train exactly as a
+                    # cancelled heap slot would: no dispatch, no clock
+                    # advance, its own successor takes its place.
+                    nxt = successor.after
+                    successor.after = None
+                    successor = nxt
+                    continue
+                if (
+                    (stop_when is not None and stop_when())
+                    or (max_events is not None and dispatched >= max_events)
+                    or (until is not None and successor.time > until)
+                    or (
+                        queue
+                        and (
+                            queue[0][0] < successor.time
+                            or (
+                                queue[0][0] == successor.time
+                                and queue[0][1] < successor.sequence
+                            )
+                        )
+                    )
+                ):
+                    # Not (or not provably) the next event: return it to
+                    # the heap and let the outer loop decide.
+                    push(queue, (successor.time, successor.sequence, successor))
+                    self._pushes += 1
+                    break
+                nxt = successor.after
+                successor.after = None
+                advance_to(successor.time)
+                try:
+                    self._dispatch(successor)
+                except BaseException:
+                    if nxt is not None:
+                        push(queue, (nxt.time, nxt.sequence, nxt))
+                        self._pushes += 1
+                    raise
+                dispatched += 1
+                successor = nxt
         return dispatched
 
     def _peek(self) -> Optional[Event]:

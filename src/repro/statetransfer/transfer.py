@@ -676,6 +676,9 @@ class StateTransferManager:
         self._abandon()
         if self.replica.recovery is not None:
             self.replica.recovery.on_state_fetched(seq)
+        # Chain straight to any checkpoint certified while this transfer
+        # was in flight (after the wind-down, so a restart is not wiped).
+        self.replica.recheck_newer_checkpoints(seq)
 
     # ------------------------------------------------------ proof eviction
     def _subtree_contains(
@@ -853,3 +856,6 @@ class StateTransferManager:
         self._abandon()
         if recovery is not None:
             recovery.on_state_fetched(seq)
+        # Chain straight to any checkpoint certified while this transfer
+        # was in flight (after the wind-down, so a restart is not wiped).
+        replica.recheck_newer_checkpoints(seq)

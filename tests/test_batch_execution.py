@@ -1,0 +1,547 @@
+"""Property tests for the batch-execution pipeline.
+
+The contract under test: with ``hotpath.BATCH_EXECUTION_ENABLED`` on, a
+replica executes a committed batch through ``Service.execute_batch`` plus
+bulk reply construction/signing/sending — and everything observable is
+byte-identical to the per-request path, in both hot-path cache modes:
+
+* the service results, final state, state digests and ``state_version``;
+* every message the replica sends (payloads compared canonically, in
+  send order), including cached-reply re-sends for retransmissions that
+  were ordered into a batch (the Section 3.1 fix, regression-tested here
+  for both paths);
+* the reply table, its incremental AdHash digest, and the tentative
+  rollback that unwinds it.
+
+Also covered: the bulk reply encoder produces exactly ``pack(...)``'s
+bytes, the operation-parse cache returns what a fresh parse would, and
+the two liveness repairs that heavy batching load surfaced (status
+messages are sent even when a replica believes it has nothing
+outstanding; a stable-checkpoint certificate at or beyond the high water
+mark — or in an inactive view — triggers state transfer).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import hotpath
+from repro.core.config import ProtocolOptions, ReplicaSetConfig
+from repro.core.messages import (
+    Checkpoint,
+    Commit,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    StatusActive,
+    pack,
+)
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.signatures import SignatureRegistry
+from repro.services.counter import CounterService
+from repro.services.kvstore import KeyValueStore, _parse_operation
+from repro.services.null_service import NullService, encode_null_op
+from repro.statetransfer.partition_tree import ADHASH_MODULUS
+
+from tests.conftest import make_replica
+
+
+def authed(message):
+    message.auth = Authenticator(sender=message.sender, tags={})
+    return message
+
+
+# ======================================================================
+# Service level: execute_batch == per-op execute
+# ======================================================================
+KEYS = [b"k1", b"k2", b"longer-key", b"zz"]
+VALUES = [b"v", b"value-two", b"x" * 40]
+
+kv_op = st.one_of(
+    st.tuples(st.just(b"SET"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+    st.tuples(st.just(b"set"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+    st.tuples(st.just(b"DEL"), st.sampled_from(KEYS)),
+    st.tuples(st.just(b"GET"), st.sampled_from(KEYS)),
+    st.tuples(st.just(b"KEYS"),),
+    st.tuples(st.just(b"CAS"), st.sampled_from(KEYS), st.sampled_from(VALUES + [b"-"]),
+              st.sampled_from(VALUES)),
+    # Malformed / unknown operations must take the same error paths.
+    st.tuples(st.just(b"SET"), st.sampled_from(KEYS)),
+    st.tuples(st.just(b"CAS"), st.sampled_from(KEYS)),
+    st.tuples(st.just(b"NOPE"), st.sampled_from(KEYS)),
+    st.tuples(st.just(b""),),
+)
+
+kv_batch = st.lists(
+    st.tuples(kv_op, st.sampled_from(["alice", "bob", "mallory"])),
+    min_size=0, max_size=24,
+)
+
+
+def _seed_store(writers):
+    store = KeyValueStore(writers=writers)
+    store.execute(b"SET k1 seeded", "alice")
+    store.execute(b"SET zz zeta", "alice")
+    return store
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=kv_batch, restrict=st.booleans())
+def test_kvstore_execute_batch_matches_per_op(batch, restrict):
+    writers = {"alice", "bob"} if restrict else None
+    ops = [
+        (b" ".join(parts), client, b"key:%d" % index)
+        for index, (parts, client) in enumerate(batch)
+    ]
+    for caches in (True, False):
+        with (hotpath.caches_disabled() if not caches else _null_ctx()):
+            reference = _seed_store(writers)
+            expected = [
+                reference.execute(operation, client)
+                for operation, client, _key in ops
+            ]
+            batched = _seed_store(writers)
+            got = batched.execute_batch(ops)
+            assert got == expected
+            assert batched._export_state() == reference._export_state()
+            assert batched.state_version == reference.state_version
+            assert batched.state_digest() == reference.state_digest()
+            # A second pass over the same cache keys (the retransmission /
+            # re-execution case the parse cache exists for) stays identical.
+            rerun = batched.execute_batch(ops)
+            rerun_reference = [
+                reference.execute(operation, client)
+                for operation, client, _k in ops
+            ]
+            assert rerun == rerun_reference
+            assert batched._export_state() == reference._export_state()
+
+
+class _null_ctx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def test_parse_operation_cache_key_reuse_is_pure():
+    store = KeyValueStore()
+    ops = [(b"SET a 1", "c", b"digest-a"), (b"GET a", "c", b"digest-b")]
+    first = store.execute_batch(ops)
+    second = store.execute_batch(ops)  # parse-cache hits
+    assert [r.result for r in first] == [b"OK", b"1"]
+    assert [r.result for r in second] == [b"OK", b"1"]
+    assert _parse_operation(b"set  double-space v") == _parse_operation(
+        b"set  double-space v"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.lists(
+        st.tuples(
+            st.sampled_from([b"INC", b"DEC", b"READ", b"INC 5", b"DEC 3",
+                             b"INC -1", b"INC x", b"BAD"]),
+            st.sampled_from(["alice", "mallory"]),
+        ),
+        min_size=0, max_size=16,
+    )
+)
+def test_counter_execute_batch_matches_per_op(batch):
+    ops = [(operation, client, None) for operation, client in batch]
+    reference = CounterService(allowed_clients={"alice"})
+    reference.execute(b"INC 10", "alice")
+    batched = CounterService(allowed_clients={"alice"})
+    batched.execute(b"INC 10", "alice")
+    expected = [reference.execute(op, client) for op, client, _ in ops]
+    assert batched.execute_batch(ops) == expected
+    assert batched.value == reference.value
+    assert batched.state_version == reference.state_version
+    assert batched.state_digest() == reference.state_digest()
+
+
+def test_null_service_execute_batch_matches_per_op():
+    ops = [
+        (encode_null_op(result_size=size, arg_size=8), "c", None)
+        for size in (0, 4, 64)
+    ]
+    reference = NullService()
+    batched = NullService()
+    expected = [reference.execute(op, client) for op, client, _ in ops]
+    assert batched.execute_batch(ops) == expected
+    assert batched.operations_executed == reference.operations_executed
+    assert batched.state_version == reference.state_version
+    assert batched.state_digest() == reference.state_digest()
+
+
+# ======================================================================
+# Replica level: the batch pipeline is observably identical
+# ======================================================================
+#: One request spec: (client index, timestamp, operation index, separate?).
+request_spec = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=4),
+    st.booleans(),
+)
+
+OPS = [b"SET a 1", b"SET b 2", b"DEL a", b"CAS a 1 2", b"GET a"]
+
+batches_spec = st.lists(
+    st.lists(
+        st.one_of(request_spec, st.just("null")),
+        min_size=0, max_size=6,
+    ),
+    min_size=1, max_size=4,
+)
+
+
+def _build_request(spec):
+    client_index, timestamp, op_index, separate = spec
+    client = f"client{client_index}"
+    return (
+        Request(
+            operation=OPS[op_index],
+            timestamp=timestamp,
+            client=client,
+            sender=client,
+        ),
+        separate,
+    )
+
+
+def _drive_batches(batches, tentative_commit=True):
+    """Feed a backup replica the given committed batches; return the
+    observable trace: every sent message's (destination, type, canonical
+    payload), plus the final reply table, digests and service state."""
+    config = ReplicaSetConfig(n=4, checkpoint_interval=64)
+    registry = SignatureRegistry()
+    replica, env = make_replica(config, registry, "replica1",
+                                service=KeyValueStore())
+    for seq, batch in enumerate(batches, start=1):
+        inline = []
+        separate = []
+        for spec in batch:
+            if spec == "null":
+                inline.append(Request.null_request())
+                continue
+            request, is_separate = _build_request(spec)
+            if is_separate:
+                replica.receive(authed(
+                    Request(operation=request.operation,
+                            timestamp=request.timestamp,
+                            client=request.client, sender=request.client)
+                ))
+                separate.append(request.request_digest())
+            else:
+                inline.append(request)
+        pre_prepare = authed(PrePrepare(
+            view=0, seq=seq, requests=tuple(inline),
+            separate_digests=tuple(separate), sender="replica0",
+        ))
+        replica.receive(pre_prepare)
+        digest_value = pre_prepare.batch_digest()
+        for other in ("replica2", "replica3"):
+            replica.receive(authed(Prepare(
+                view=0, seq=seq, digest=digest_value, replica=other,
+                sender=other,
+            )))
+        if tentative_commit:
+            for other in ("replica0", "replica2"):
+                replica.receive(authed(Commit(
+                    view=0, seq=seq, digest=digest_value, replica=other,
+                    sender=other,
+                )))
+    trace = [
+        (sent.destination, type(sent.message).__name__,
+         sent.message.payload_bytes())
+        for sent in env.sent
+    ]
+    return {
+        "trace": trace,
+        "last_reply_timestamp": dict(replica.last_reply_timestamp),
+        "reply_digest": replica._reply_digest % ADHASH_MODULUS,
+        "recomputed_reply_digest": replica._recompute_reply_digest(),
+        "state": replica.service._export_state(),
+        "state_digest": replica._state_digest(),
+        "executed": replica.metrics.requests_executed,
+        "last_executed": replica.last_executed,
+        "replies": {
+            client: (reply.timestamp, reply.result, reply.result_digest,
+                     reply.tentative)
+            for client, reply in replica.last_reply.items()
+        },
+    }
+
+
+def _all_mode_traces(batches, tentative_commit=True):
+    results = {}
+    for batch_exec in (True, False):
+        for caches in (True, False):
+            batch_ctx = (_null_ctx() if batch_exec
+                         else hotpath.batch_execution_disabled())
+            cache_ctx = _null_ctx() if caches else hotpath.caches_disabled()
+            with batch_ctx, cache_ctx:
+                results[(batch_exec, caches)] = _drive_batches(
+                    batches, tentative_commit=tentative_commit
+                )
+    return results
+
+
+@settings(max_examples=40, deadline=None)
+@given(batches=batches_spec)
+def test_batch_pipeline_is_bit_identical_across_all_toggles(batches):
+    results = _all_mode_traces(batches)
+    reference = results[(False, True)]
+    assert reference["reply_digest"] == reference["recomputed_reply_digest"]
+    for mode, observed in results.items():
+        assert observed == reference, mode
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches=batches_spec)
+def test_tentative_rollback_is_bit_identical_across_toggles(batches):
+    """Prepared-but-uncommitted batches execute tentatively; a view change
+    aborts them.  The rollback (state restore + reply-table undo log) must
+    leave identical state on the batch and per-op paths."""
+
+    def run(batch_exec, caches):
+        batch_ctx = (_null_ctx() if batch_exec
+                     else hotpath.batch_execution_disabled())
+        cache_ctx = _null_ctx() if caches else hotpath.caches_disabled()
+        with batch_ctx, cache_ctx:
+            config = ReplicaSetConfig(n=4, checkpoint_interval=64)
+            registry = SignatureRegistry()
+            replica, env = make_replica(config, registry, "replica1",
+                                        service=KeyValueStore())
+            # Commit the first batch so there is a pre-abort reply table.
+            seq = 0
+            for index, batch in enumerate(batches):
+                seq += 1
+                inline = [
+                    _build_request(spec)[0] for spec in batch
+                    if spec != "null"
+                ] or [Request.null_request()]
+                pre_prepare = authed(PrePrepare(
+                    view=0, seq=seq, requests=tuple(inline), sender="replica0",
+                ))
+                replica.receive(pre_prepare)
+                digest_value = pre_prepare.batch_digest()
+                for other in ("replica2", "replica3"):
+                    replica.receive(authed(Prepare(
+                        view=0, seq=seq, digest=digest_value, replica=other,
+                        sender=other,
+                    )))
+                if index < len(batches) - 1:
+                    for other in ("replica0", "replica2"):
+                        replica.receive(authed(Commit(
+                            view=0, seq=seq, digest=digest_value,
+                            replica=other, sender=other,
+                        )))
+            # The last batch is tentative only; abort it.
+            replica.start_view_change(1)
+            return {
+                "last_reply_timestamp": dict(replica.last_reply_timestamp),
+                "reply_digest": replica._reply_digest % ADHASH_MODULUS,
+                "recomputed": replica._recompute_reply_digest(),
+                "state": replica.service._export_state(),
+                "state_digest": replica._state_digest(),
+                "last_tentative": replica.last_tentative,
+            }
+
+    reference = run(False, True)
+    assert reference["reply_digest"] == reference["recomputed"]
+    for mode in ((True, True), (True, False), (False, False)):
+        assert run(*mode) == reference, mode
+
+
+# ======================================================================
+# Bulk reply encoder
+# ======================================================================
+def test_bulk_reply_encoding_matches_pack():
+    """The batch pipeline's hand-assembled reply payloads (and prefilled
+    caches) are exactly what ``pack`` produces."""
+    batches = [[(0, 1, 0, False), (1, 1, 1, False)], [(2, 2, 3, True)]]
+    with _null_ctx():
+        config = ReplicaSetConfig(n=4, checkpoint_interval=64)
+        registry = SignatureRegistry()
+        replica, env = make_replica(config, registry, "replica1",
+                                    service=KeyValueStore())
+        for seq, batch in enumerate(batches, start=1):
+            inline = []
+            for spec in batch:
+                request, separate = _build_request(spec)
+                if separate:
+                    replica.receive(authed(Request(
+                        operation=request.operation,
+                        timestamp=request.timestamp,
+                        client=request.client, sender=request.client,
+                    )))
+                inline.append(request)
+            pre_prepare = authed(PrePrepare(
+                view=0, seq=seq, requests=tuple(inline), sender="replica0",
+            ))
+            replica.receive(pre_prepare)
+            digest_value = pre_prepare.batch_digest()
+            for other in ("replica2", "replica3"):
+                replica.receive(authed(Prepare(
+                    view=0, seq=seq, digest=digest_value, replica=other,
+                    sender=other,
+                )))
+    replies = env.messages_of_type(Reply)
+    assert replies
+    for reply in replies:
+        cached = reply.__dict__.get("_payload_bytes_cache")
+        with hotpath.caches_disabled():
+            expected = pack(
+                "Reply", reply.sender, reply.view, reply.timestamp,
+                reply.client, reply.replica, reply.result_digest,
+                reply.tentative,
+            )
+        assert reply.payload_bytes() == expected
+        if cached is not None:
+            assert cached == expected
+
+
+# ======================================================================
+# Regression: retransmission ordered into a batch re-sends the reply
+# ======================================================================
+def _committed_batch(replica, seq, requests):
+    pre_prepare = authed(PrePrepare(
+        view=0, seq=seq, requests=tuple(requests), sender="replica0",
+    ))
+    replica.receive(pre_prepare)
+    digest_value = pre_prepare.batch_digest()
+    for other in ("replica2", "replica3"):
+        replica.receive(authed(Prepare(
+            view=0, seq=seq, digest=digest_value, replica=other, sender=other,
+        )))
+    for other in ("replica0", "replica2"):
+        replica.receive(authed(Commit(
+            view=0, seq=seq, digest=digest_value, replica=other, sender=other,
+        )))
+
+
+def _retransmission_replies(batch_exec):
+    ctx = _null_ctx() if batch_exec else hotpath.batch_execution_disabled()
+    with ctx:
+        config = ReplicaSetConfig(n=4, checkpoint_interval=64)
+        registry = SignatureRegistry()
+        replica, env = make_replica(config, registry, "replica1",
+                                    service=KeyValueStore())
+        original = Request(operation=b"SET a 1", timestamp=1,
+                           client="client0", sender="client0")
+        _committed_batch(replica, 1, [original])
+        env.clear()
+        # The client's retransmission got ordered into the next batch
+        # (e.g. its replies were lost and the primary re-proposed it).
+        retransmission = Request(operation=b"SET a 1", timestamp=1,
+                                 client="client0", sender="client0")
+        fresh = Request(operation=b"SET b 2", timestamp=1,
+                        client="client1", sender="client1")
+        _committed_batch(replica, 2, [retransmission, fresh])
+        return (
+            [m for m in env.messages_of_type(Reply) if m.client == "client0"],
+            replica,
+        )
+
+
+def test_ordered_retransmission_resends_cached_reply_per_op_path():
+    replies, replica = _retransmission_replies(batch_exec=False)
+    assert replies, (
+        "a retransmitted request ordered into a batch must re-send the "
+        "cached reply (Section 3.1), not be dropped silently"
+    )
+    assert replies[0].timestamp == 1
+    assert replies[0].result == b"OK"
+    # The re-execution was skipped: the store holds the first write only.
+    assert replica.metrics.requests_executed == 2  # a=1 and b=2
+
+
+def test_ordered_retransmission_resends_cached_reply_batch_path():
+    replies, replica = _retransmission_replies(batch_exec=True)
+    assert replies
+    assert replies[0].timestamp == 1
+    assert replies[0].result == b"OK"
+    assert replica.metrics.requests_executed == 2
+
+
+def test_stale_request_in_batch_is_still_dropped():
+    """Only an exact retransmission re-sends; an older timestamp stays
+    silent (the client has already moved on)."""
+    for batch_exec in (True, False):
+        ctx = _null_ctx() if batch_exec else hotpath.batch_execution_disabled()
+        with ctx:
+            config = ReplicaSetConfig(n=4, checkpoint_interval=64)
+            registry = SignatureRegistry()
+            replica, env = make_replica(config, registry, "replica1",
+                                        service=KeyValueStore())
+            fresh = Request(operation=b"SET a 2", timestamp=2,
+                            client="client0", sender="client0")
+            _committed_batch(replica, 1, [fresh])
+            env.clear()
+            stale = Request(operation=b"SET a 1", timestamp=1,
+                            client="client0", sender="client0")
+            _committed_batch(replica, 2, [stale])
+            assert [m for m in env.messages_of_type(Reply)
+                    if m.client == "client0"] == []
+
+
+# ======================================================================
+# Regression: liveness repairs surfaced by batching load
+# ======================================================================
+def test_status_is_sent_even_with_nothing_outstanding():
+    """A replica that missed a pre-prepare entirely has no record it
+    exists; only its periodic status reveals the gap.  The old "skip when
+    idle" fast-out silenced exactly those replicas and wedged the group."""
+    config = ReplicaSetConfig(n=4, checkpoint_interval=4)
+    registry = SignatureRegistry()
+    replica, env = make_replica(config, registry, "replica1")
+    replica.on_timer("status")
+    statuses = env.messages_of_type(StatusActive)
+    assert statuses, "status must go out even when nothing is outstanding"
+    assert statuses[0].last_executed == 0
+
+
+class _TransferStub:
+    def __init__(self):
+        self.calls = []
+
+    def start(self, seq, digest):
+        self.calls.append((seq, digest))
+
+
+def _stable_certificate(replica, seq, digest_value):
+    for other in ("replica0", "replica2", "replica3"):
+        replica.receive(authed(Checkpoint(
+            seq=seq, state_digest=digest_value, replica=other, sender=other,
+        )))
+
+
+def test_certificate_at_high_water_mark_triggers_state_transfer():
+    """Peers that made ``seq`` stable garbage-collected every slot up to
+    it; waiting for retransmission at ``seq == high_water_mark`` (the old
+    strict ``>``) deadlocks, so the certificate must trigger a fetch."""
+    config = ReplicaSetConfig(n=4, checkpoint_interval=4)
+    registry = SignatureRegistry()
+    replica, env = make_replica(config, registry, "replica1")
+    replica.state_transfer = _TransferStub()
+    seq = replica.log.high_water_mark  # exactly at the boundary
+    _stable_certificate(replica, seq, b"\x11" * 16)
+    assert replica.state_transfer.calls == [(seq, b"\x11" * 16)]
+
+
+def test_certificate_in_inactive_view_triggers_state_transfer():
+    """A replica stuck in a view change cannot commit forward through the
+    normal case, so any certified checkpoint it does not hold must be
+    fetchable even inside its window."""
+    config = ReplicaSetConfig(n=4, checkpoint_interval=4)
+    registry = SignatureRegistry()
+    replica, env = make_replica(config, registry, "replica1")
+    replica.state_transfer = _TransferStub()
+    replica.start_view_change(1)
+    seq = 4  # inside the window
+    _stable_certificate(replica, seq, b"\x22" * 16)
+    assert replica.state_transfer.calls == [(seq, b"\x22" * 16)]
