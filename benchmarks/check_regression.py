@@ -47,6 +47,7 @@ for _path in (os.path.join(REPO_ROOT, "src"), os.path.dirname(os.path.abspath(__
 import test_bench_batch_exec as _bench_batchexec
 import test_bench_checkpoint_pipeline as _bench_checkpoint
 import test_bench_hotpath as _bench_hotpath
+import test_bench_rebalancing as _bench_rebalancing
 import test_bench_sharding as _bench_sharding
 import test_bench_state_transfer_pages as _bench_statetransfer
 
@@ -106,6 +107,20 @@ EXPERIMENTS = {
         # Aggregate-throughput scaling rows carry their own floors (the
         # 4-group deployment must keep scaling).
         "row_floors": {"groups=4": _bench_sharding.FULL_SCALING_FLOOR},
+    },
+    "rebalancing": {
+        "record": "BENCH_rebalancing.json",
+        "module": "benchmarks/test_bench_rebalancing.py",
+        # The gated headline is the skew-recovery ratio: auto-rebalanced
+        # measured-phase throughput over the uniform (no-skew) curve.
+        # Simulated closed-loop throughput is modeled and deterministic,
+        # so one fresh run suffices and there is no load-spike retry.
+        "speedup_floor": _bench_rebalancing.FULL_RECOVERY_FLOOR,
+        "required_workload_fragments": ["headline", "static partitioning"],
+        "headline_key": "headline_recovery_ratio",
+        "ratio_key": "recovery_ratio",
+        "side_metric": "ops_per_second",
+        "deterministic": True,
     },
 }
 

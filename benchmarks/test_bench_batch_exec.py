@@ -44,6 +44,7 @@ import time
 from repro import hotpath
 from repro.bench import (
     ExperimentTable,
+    StopWatch,
     preload_kv_state,
     run_kv_mixed,
     run_kv_value_churn,
@@ -88,7 +89,7 @@ def _run_once(generator: str, f: int, clients: int, ops_per_client: int,
         view_change_timeout=5_000_000.0,
         client_retransmission_timeout=2_000_000.0,
     )
-    start = time.perf_counter()
+    watch = StopWatch()
     if preload_keys:
         preload_kv_state(cluster, keys=preload_keys, value_size=value_size)
     if generator == "churn":
@@ -106,12 +107,12 @@ def _run_once(generator: str, f: int, clients: int, ops_per_client: int,
             cluster, clients, ops_per_client,
             key_space=key_space, value_size=value_size, skew=0.99,
         )
-    wall = time.perf_counter() - start
+    wall = watch.wall_seconds
     primary = cluster.primary_replica()
     batches = max(1, primary.metrics.batches_committed)
     return {
         "completed": result.completed,
-        "wall_seconds": round(wall, 4),
+        **watch.times(),
         "wall_ops_per_second": round(result.completed / wall, 1),
         "modeled_ops_per_second": round(result.ops_per_second, 1),
         "modeled_mean_latency_us": round(result.mean_latency, 3),

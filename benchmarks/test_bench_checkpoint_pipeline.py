@@ -25,7 +25,12 @@ import os
 import time
 
 from repro import hotpath
-from repro.bench import ExperimentTable, preload_kv_state, run_kv_value_churn
+from repro.bench import (
+    ExperimentTable,
+    StopWatch,
+    preload_kv_state,
+    run_kv_value_churn,
+)
 from repro.library import BFTCluster
 from repro.services.kvstore import KeyValueStore
 
@@ -55,17 +60,17 @@ def _churn_run(
         service_factory=KeyValueStore,
         checkpoint_interval=checkpoint_interval,
     )
-    start = time.perf_counter()
+    watch = StopWatch()
     preload_kv_state(cluster, keys=preload_keys, value_size=value_size)
     result = run_kv_value_churn(
         cluster, clients, ops_per_client, key_space=key_space,
         value_size=value_size,
     )
-    wall = time.perf_counter() - start
+    wall = watch.wall_seconds
     replica = cluster.primary_replica()
     return {
         "completed": result.completed,
-        "wall_seconds": round(wall, 4),
+        **watch.times(),
         "wall_ops_per_second": round(result.completed / wall, 1),
         "modeled_ops_per_second": round(result.ops_per_second, 1),
         "modeled_mean_latency_us": round(result.mean_latency, 3),
@@ -138,34 +143,40 @@ def _micro_benchmarks(iterations: int) -> dict:
         store.release_snapshot(handle)
 
     results = {}
-    start = time.perf_counter()
+    watch = StopWatch()
     for _ in range(iterations):
         churn_digest()
     results["state_digest_after_one_touch"] = {
-        "optimized_ops_per_second": round(iterations / (time.perf_counter() - start)),
+        "optimized_ops_per_second": round(iterations / watch.wall_seconds),
+        "optimized_cpu_seconds": round(watch.cpu_seconds, 4),
     }
     baseline_iterations = max(1, iterations // 50)
     with hotpath.caches_disabled():
-        start = time.perf_counter()
+        watch = StopWatch()
         for _ in range(baseline_iterations):
             churn_digest()
         results["state_digest_after_one_touch"]["baseline_ops_per_second"] = round(
-            baseline_iterations / (time.perf_counter() - start)
+            baseline_iterations / watch.wall_seconds
+        )
+        results["state_digest_after_one_touch"]["baseline_cpu_seconds"] = round(
+            watch.cpu_seconds, 4
         )
 
-    start = time.perf_counter()
+    watch = StopWatch()
     for _ in range(iterations):
         snapshot_and_release()
     results["snapshot"] = {
-        "optimized_ops_per_second": round(iterations / (time.perf_counter() - start)),
+        "optimized_ops_per_second": round(iterations / watch.wall_seconds),
+        "optimized_cpu_seconds": round(watch.cpu_seconds, 4),
     }
     with hotpath.caches_disabled():
-        start = time.perf_counter()
+        watch = StopWatch()
         for _ in range(iterations):
             snapshot_and_release()
         results["snapshot"]["baseline_ops_per_second"] = round(
-            iterations / (time.perf_counter() - start)
+            iterations / watch.wall_seconds
         )
+        results["snapshot"]["baseline_cpu_seconds"] = round(watch.cpu_seconds, 4)
     return results
 
 

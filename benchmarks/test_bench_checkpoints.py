@@ -8,11 +8,9 @@ digests), not to the total state size.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from repro.bench import ExperimentTable
+from repro.bench import ExperimentTable, StopWatch
 from repro.statetransfer.partition_tree import PartitionTree
 
 TOTAL_PAGES = 2048
@@ -35,13 +33,14 @@ def run_experiment() -> ExperimentTable:
         tree = build_tree()
         for index in range(working_set):
             tree.write_page(index, b"modified-%d" % index)
-        start = time.perf_counter()
+        watch = StopWatch()
         copy = tree.take_checkpoint(2)
-        elapsed = time.perf_counter() - start
+        wall, cpu = watch.wall_seconds, watch.cpu_seconds
         table.add_row(
             modified_pages=working_set,
             copied_pages=len(copy.pages),
-            wall_time_ms=round(elapsed * 1000.0, 3),
+            wall_time_ms=round(wall * 1000.0, 3),
+            cpu_time_ms=round(cpu * 1000.0, 3),
         )
     return table
 

@@ -23,7 +23,12 @@ import os
 import time
 
 from repro import hotpath
-from repro.bench import ExperimentTable, measure_throughput, micro_operation
+from repro.bench import (
+    ExperimentTable,
+    StopWatch,
+    measure_throughput,
+    micro_operation,
+)
 from repro.core.auth import Authentication, build_session_keys
 from repro.core.config import ProtocolOptions, ReplicaSetConfig
 from repro.core.messages import PrePrepare, Request
@@ -53,12 +58,12 @@ def _throughput_run(f: int, clients: int, ops_per_client: int) -> dict:
     cluster = BFTCluster.create(
         f=f, service_factory=NullService, checkpoint_interval=256
     )
-    start = time.perf_counter()
+    watch = StopWatch()
     result = measure_throughput(cluster, clients, ops_per_client, micro_operation(0, 0))
-    wall = time.perf_counter() - start
+    wall = watch.wall_seconds
     return {
         "completed": result.completed,
-        "wall_seconds": round(wall, 4),
+        **watch.times(),
         "wall_ops_per_second": round(result.completed / wall, 1),
         "modeled_ops_per_second": round(result.ops_per_second, 1),
         "modeled_mean_latency_us": round(result.mean_latency, 3),
@@ -112,12 +117,13 @@ def _sample_pre_prepare(batch: int = 16) -> PrePrepare:
     return PrePrepare(view=0, seq=1, requests=requests, sender="replica0")
 
 
-def _ops_per_second(fn, iterations: int) -> float:
-    start = time.perf_counter()
+def _timed_rate(fn, iterations: int):
+    """``(wall ops/second, CPU seconds)`` over ``iterations`` calls."""
+    watch = StopWatch()
     for _ in range(iterations):
         fn()
-    elapsed = time.perf_counter() - start
-    return iterations / elapsed if elapsed > 0 else float("inf")
+    wall, cpu = watch.wall_seconds, watch.cpu_seconds
+    return (iterations / wall if wall > 0 else float("inf"), cpu)
 
 
 def _micro_benchmarks(iterations: int) -> dict:
@@ -126,15 +132,15 @@ def _micro_benchmarks(iterations: int) -> dict:
 
     # Batch digest of a 16-request pre-prepare: memoized vs recomputed.
     message = _sample_pre_prepare()
+    rate, cpu = _timed_rate(message.batch_digest, iterations)
     results["batch_digest"] = {
-        "optimized_ops_per_second": round(
-            _ops_per_second(message.batch_digest, iterations)
-        ),
+        "optimized_ops_per_second": round(rate),
+        "optimized_cpu_seconds": round(cpu, 4),
     }
     with hotpath.caches_disabled():
-        results["batch_digest"]["baseline_ops_per_second"] = round(
-            _ops_per_second(message.batch_digest, max(1, iterations // 20))
-        )
+        rate, cpu = _timed_rate(message.batch_digest, max(1, iterations // 20))
+        results["batch_digest"]["baseline_ops_per_second"] = round(rate)
+        results["batch_digest"]["baseline_cpu_seconds"] = round(cpu, 4)
 
     # Authenticator construction for a 6-peer multicast (f=2 group).
     config = ReplicaSetConfig(n=7)
@@ -148,17 +154,20 @@ def _micro_benchmarks(iterations: int) -> dict:
     )
     others = config.others("replica0")
     sign_target = _sample_pre_prepare()
+    rate, cpu = _timed_rate(
+        lambda: auth.sign_multicast(sign_target, others), iterations
+    )
     results["sign_multicast"] = {
-        "optimized_ops_per_second": round(
-            _ops_per_second(lambda: auth.sign_multicast(sign_target, others),
-                            iterations)
-        ),
+        "optimized_ops_per_second": round(rate),
+        "optimized_cpu_seconds": round(cpu, 4),
     }
     with hotpath.caches_disabled():
-        results["sign_multicast"]["baseline_ops_per_second"] = round(
-            _ops_per_second(lambda: auth.sign_multicast(sign_target, others),
-                            max(1, iterations // 20))
+        rate, cpu = _timed_rate(
+            lambda: auth.sign_multicast(sign_target, others),
+            max(1, iterations // 20),
         )
+        results["sign_multicast"]["baseline_ops_per_second"] = round(rate)
+        results["sign_multicast"]["baseline_cpu_seconds"] = round(cpu, 4)
 
     # Raw scheduler dispatch rate (slot-based heap; no baseline toggle).
     def dispatch_batch() -> None:
@@ -170,12 +179,13 @@ def _micro_benchmarks(iterations: int) -> dict:
         scheduler.run()
 
     batches = max(1, iterations // 256)
-    start = time.perf_counter()
+    watch = StopWatch()
     for _ in range(batches):
         dispatch_batch()
-    elapsed = time.perf_counter() - start
+    wall, cpu = watch.wall_seconds, watch.cpu_seconds
     results["scheduler_dispatch"] = {
-        "events_per_second": round(batches * 512 / elapsed) if elapsed else 0,
+        "events_per_second": round(batches * 512 / wall) if wall else 0,
+        "cpu_seconds": round(cpu, 4),
     }
     return results
 

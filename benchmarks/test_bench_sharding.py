@@ -30,6 +30,7 @@ import time
 from repro import hotpath
 from repro.bench import (
     ExperimentTable,
+    StopWatch,
     kv_churn_operation,
     preload_sharded_kv_state,
     run_sharded_closed_loop,
@@ -37,7 +38,7 @@ from repro.bench import (
     zipf_group_load,
     zipf_key_sequences,
 )
-from repro.sharding import ShardedKVCluster
+from repro.sharding import ShardedKVCluster, load_imbalance
 from repro.sharding.router import ShardRouter
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -65,7 +66,7 @@ def _scaling_run(
     sharded = ShardedKVCluster(
         groups=groups, f=1, checkpoint_interval=checkpoint_interval
     )
-    wall_start = time.perf_counter()
+    watch = StopWatch()
     result = run_sharded_kv_churn(
         sharded,
         num_clients=clients_per_group * groups,
@@ -74,16 +75,14 @@ def _scaling_run(
         value_size=value_size,
     )
     assert sharded.group_digests_converged()
-    # Per-group load balance: how evenly the churn stream's CRC-32 bucket
-    # partitioning spread the executed requests over the groups.  The
-    # imbalance factor is max-group load over the perfectly-even share
-    # (1.0 = perfectly balanced); the Zipfian companion stat below shows
-    # what a skewed key distribution does to the same partitioning.
-    group_load = [
-        sharded.group(g).primary_replica().metrics.requests_executed
-        for g in range(groups)
-    ]
-    even_share = sum(group_load) / max(1, groups)
+    # Per-group load balance, read from the router's always-on live
+    # counters (repro.sharding.loadstats): how evenly the churn stream's
+    # CRC-32 bucket partitioning spread the issued requests over the
+    # groups.  The imbalance factor is the shared definition the
+    # rebalancer's policy loop uses (1.0 = perfectly balanced); the
+    # Zipfian companion stat below shows what a skewed key distribution
+    # does to the same partitioning.
+    group_load = list(sharded.loadstats.group_totals)
     return {
         "groups": groups,
         "completed": result.completed,
@@ -91,8 +90,8 @@ def _scaling_run(
         "metric": round(result.ops_per_second, 2),
         "mean_latency_us": round(result.mean_latency, 2),
         "group_load": group_load,
-        "load_imbalance": round(max(group_load) / max(1e-9, even_share), 3),
-        "wall_seconds": round(time.perf_counter() - wall_start, 4),
+        "load_imbalance": round(load_imbalance(group_load), 3),
+        **watch.times(),
     }
 
 
@@ -104,7 +103,7 @@ def _migration_run(
     sharded = ShardedKVCluster(
         groups=2, f=1, checkpoint_interval=checkpoint_interval
     )
-    wall_start = time.perf_counter()
+    watch = StopWatch()
     preload_sharded_kv_state(sharded, keys=preload_keys, value_size=value_size)
     churn = run_sharded_closed_loop(
         sharded,
@@ -129,12 +128,16 @@ def _migration_run(
         **metrics.modeled_view(),
         "bytes_moved": metrics.bytes_moved,
         "union_keys": len(union_after),
-        "wall_seconds": round(time.perf_counter() - wall_start, 4),
+        **watch.times(),
     }
 
 
 def _modeled_view(run: dict) -> dict:
-    return {key: value for key, value in run.items() if key != "wall_seconds"}
+    return {
+        key: value
+        for key, value in run.items()
+        if key not in ("wall_seconds", "cpu_seconds")
+    }
 
 
 def run_experiment(smoke: bool, scale) -> dict:
@@ -197,12 +200,11 @@ def run_experiment(smoke: bool, scale) -> dict:
         key_space=scale(256, 64), skew=0.99,
     )
     zipf_load = zipf_group_load(sequences, router.group_of_key, 4)
-    zipf_total = sum(zipf_load)
     zipfian_imbalance = {
         "groups": 4,
         "skew": 0.99,
         "group_load": zipf_load,
-        "load_imbalance": round(max(zipf_load) / (zipf_total / 4), 3),
+        "load_imbalance": round(load_imbalance(zipf_load), 3),
     }
 
     scaling4 = macro[1]["ratio"]

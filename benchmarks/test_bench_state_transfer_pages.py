@@ -28,7 +28,7 @@ import os
 import time
 
 from repro import hotpath
-from repro.bench import ExperimentTable, preload_kv_state, run_kv_mixed
+from repro.bench import ExperimentTable, StopWatch, preload_kv_state, run_kv_mixed
 from repro.library import BFTCluster
 from repro.services.kvstore import KeyValueStore
 
@@ -62,7 +62,7 @@ def _recovery_run(
         checkpoint_interval=checkpoint_interval,
     )
     client = cluster.new_client()
-    wall_start = time.perf_counter()
+    watch = StopWatch()
     preload_kv_state(cluster, keys=preload_keys, value_size=value_size)
     for other in ("replica0", "replica1", "replica2", client.id):
         cluster.conditions.partition(LAGGING, other)
@@ -94,7 +94,6 @@ def _recovery_run(
         ):
             break
         cluster.run(duration=2_000_000)
-    wall = time.perf_counter() - wall_start
 
     metrics = lagging.state_transfer.metrics
     digests = {
@@ -115,14 +114,18 @@ def _recovery_run(
         "stable_checkpoint": lagging.stable_checkpoint_seq,
         "stable_digest_converged": len(digests) == 1,
         "populated_pages": populated_pages,
-        "wall_seconds": round(wall, 4),
+        **watch.times(),
     }
 
 
 def _modeled_view(run: dict) -> dict:
     """The machine-independent subset of a run record (what must be
     bit-identical across simulator cache modes)."""
-    return {key: value for key, value in run.items() if key != "wall_seconds"}
+    return {
+        key: value
+        for key, value in run.items()
+        if key not in ("wall_seconds", "cpu_seconds")
+    }
 
 
 def _workloads(scale, smoke: bool):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 
 from repro import hotpath
-from repro.bench import ExperimentTable, run_kv_value_churn
+from repro.bench import ExperimentTable, StopWatch, run_kv_value_churn
 from repro.library import BFTCluster
 from repro.services.kvstore import KeyValueStore
 from repro.sim.events import EventKind
@@ -59,7 +59,7 @@ def _storm_run(
         view_change_timeout=VIEW_CHANGE_TIMEOUT,
         client_retransmission_timeout=RETRANSMISSION_TIMEOUT,
     )
-    wall_start = time.perf_counter()
+    watch = StopWatch()
     expected = num_clients * ops_per_client
     muted = []
     last_injected_view = -1
@@ -118,18 +118,25 @@ def _storm_run(
         "final_view": cluster.agreement_view(),
         "executed": tuple(sorted(cluster.executed_counts().items())),
         "digests_converged": len(digests) == 1,
-        "wall_seconds": round(time.perf_counter() - wall_start, 4),
+        **watch.times(),
     }
 
 
 def _modeled_view(run: dict) -> dict:
-    return {key: value for key, value in run.items() if key != "wall_seconds"}
+    return {
+        key: value
+        for key, value in run.items()
+        if key not in ("wall_seconds", "cpu_seconds")
+    }
 
 
 def run_experiment(smoke: bool, scale) -> dict:
     workload = {
         "num_clients": scale(4, 2),
-        "ops_per_client": scale(100, 30),
+        # Smoke churn must outlast two full mute windows (the driver only
+        # storms a group still under load), so it is longer than other
+        # smoke workloads.
+        "ops_per_client": scale(100, 60),
         "key_space": scale(64, 16),
         "value_size": scale(1024, 256),
     }

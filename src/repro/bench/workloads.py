@@ -54,6 +54,11 @@ class ThroughputResult:
     completed: int
     elapsed: float
     latencies: List[float] = field(default_factory=list)
+    #: Completions per client index.  Exactly-once accounting: the closed
+    #: loop issues operation ``i+1`` only from operation ``i``'s completion
+    #: callback, so a lost, duplicated or reordered operation surfaces here
+    #: as a count different from ``operations_per_client``.
+    per_client: List[int] = field(default_factory=list)
 
     @property
     def ops_per_second(self) -> float:
@@ -128,6 +133,7 @@ def run_closed_loop(
     """
     progress = {"done": 0}
     latencies: List[float] = []
+    per_client = [0] * num_clients
     total_expected = num_clients * operations_per_client
     start = cluster.now
 
@@ -138,6 +144,7 @@ def run_closed_loop(
         def make_callback(index: int, counters=counters):
             def on_complete(completed: CompletedRequest) -> None:
                 progress["done"] += 1
+                per_client[index] += 1
                 latencies.append(completed.latency)
                 sync = clients[index]
                 if counters["issued"] < operations_per_client:
@@ -156,7 +163,8 @@ def run_closed_loop(
                 duration=3_600_000_000.0)
     elapsed = cluster.now - start
     return ThroughputResult(
-        completed=progress["done"], elapsed=elapsed, latencies=latencies
+        completed=progress["done"], elapsed=elapsed, latencies=latencies,
+        per_client=per_client,
     )
 
 

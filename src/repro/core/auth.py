@@ -22,6 +22,7 @@ from the local key, and the received tag is still compared against it.
 
 from __future__ import annotations
 
+import copy
 import hmac
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
@@ -119,9 +120,26 @@ class Authentication:
             return message.payload_digest()
         return digest(payload)
 
+    def _resign_copy(self, message: Message) -> Message:
+        """A message that already carries authentication is being signed
+        *again* — a retransmission of an object the log (and possibly an
+        in-flight envelope) still references.  Overwriting ``auth`` in
+        place would corrupt the authenticator every other receiver sees,
+        so re-signing operates on a shallow copy; callers must send the
+        returned message."""
+        if message.auth is None:
+            return message
+        return copy.copy(message)
+
     # ---------------------------------------------------------------- signing
     def sign_multicast(self, message: Message, receivers: Iterable[str]) -> Message:
-        """Attach an authenticator (MAC mode) or a signature (PK mode)."""
+        """Attach an authenticator (MAC mode) or a signature (PK mode).
+
+        Returns the signed message: ``message`` itself on first signing, a
+        copy when re-signing one that was already signed (see
+        :meth:`_resign_copy`) — retransmission paths must send the return
+        value, not the original."""
+        message = self._resign_copy(message)
         receivers = [r for r in receivers if r != self.owner]
         signed = self._auth_digest(message)
         if self.mode is AuthMode.SIGNATURE:
@@ -161,6 +179,7 @@ class Authentication:
         return message
 
     def sign_point_to_point(self, message: Message, receiver: str) -> Message:
+        message = self._resign_copy(message)
         signed = self._auth_digest(message)
         if self.mode is AuthMode.SIGNATURE:
             self._charge(self.costs.signature_sign)

@@ -142,12 +142,14 @@ class Client:
                 and len(request.operation) > self.options.separate_request_threshold
             )
         )
+        # A retransmission re-signs the pending request, whose first copy
+        # may still be in flight: send the (possibly copied) return value.
         if broadcast:
-            self.auth.sign_multicast(request, self.config.replica_ids)
+            request = self.auth.sign_multicast(request, self.config.replica_ids)
             self.env.broadcast(self.config.replica_ids, request)
         else:
             primary = self.config.primary_of(self.view)
-            self.auth.sign_multicast(request, self.config.replica_ids)
+            request = self.auth.sign_multicast(request, self.config.replica_ids)
             self.env.send(primary, request)
         self.env.set_timer(RETRANSMIT_TIMER, self._timeout)
 

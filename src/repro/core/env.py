@@ -49,6 +49,16 @@ class Env:
     def cancel_timer(self, label: str) -> None:
         raise NotImplementedError
 
+    def timer_running(self, label: str) -> bool:
+        """Whether the timer ``label`` is armed and has not fired.
+
+        The view-change timer of Section 2.3.5 is started only *if it is
+        not already running* — restarting it on every arriving request
+        would let a steady stream of client retransmissions push failure
+        detection out indefinitely while a mute primary sits unreplaced.
+        """
+        raise NotImplementedError
+
     def charge(self, micros: float) -> None:
         """Account ``micros`` of CPU time to the calling node."""
 
@@ -92,6 +102,9 @@ class RecordingEnv(Env):
 
     def cancel_timer(self, label: str) -> None:
         self.timers[label] = None
+
+    def timer_running(self, label: str) -> bool:
+        return self.timers.get(label) is not None
 
     def charge(self, micros: float) -> None:
         self.charged += micros

@@ -349,8 +349,10 @@ class Replica:
             self._try_send_pre_prepare()
         else:
             # A backup waiting for a request starts its view-change timer so
-            # a mute primary is eventually replaced (Section 2.3.5).
-            if self.active_view:
+            # a mute primary is eventually replaced — but only if the timer
+            # is not already running (Section 2.3.5): a retransmitted
+            # request must not push detection of the current stall out.
+            if self.active_view and not self.env.timer_running(VIEW_CHANGE_TIMER):
                 self._start_view_change_timer()
         # Buffered pre-prepares may now be processable.
         self._retry_pending_pre_prepares()
@@ -1528,19 +1530,22 @@ class Replica:
                 continue
             if slot.seq <= message.last_executed:
                 continue
+            # The logged messages are shared objects (and may still sit in
+            # an undelivered envelope): re-signing returns a copy, which is
+            # what must be sent — never the original.
             if slot.seq not in prepared:
                 if self.is_primary:
-                    self.auth.sign_point_to_point(slot.pre_prepare, peer)
-                    self.env.send(peer, slot.pre_prepare)
+                    resigned = self.auth.sign_point_to_point(slot.pre_prepare, peer)
+                    self.env.send(peer, resigned)
                 own_prepare = slot.prepares.get(self.id)
                 if own_prepare is not None:
-                    self.auth.sign_point_to_point(own_prepare, peer)
-                    self.env.send(peer, own_prepare)
+                    resigned = self.auth.sign_point_to_point(own_prepare, peer)
+                    self.env.send(peer, resigned)
             if slot.seq not in committed:
                 own_commit = slot.commits.get(self.id)
                 if own_commit is not None:
-                    self.auth.sign_point_to_point(own_commit, peer)
-                    self.env.send(peer, own_commit)
+                    resigned = self.auth.sign_point_to_point(own_commit, peer)
+                    self.env.send(peer, resigned)
 
     def handle_status_pending(self, message: StatusPending) -> None:
         peer = message.replica
@@ -1558,12 +1563,12 @@ class Replica:
         if state is not None:
             own_vc = state.view_changes.get(self.id)
             if own_vc is not None and self.id not in message.view_changes_from:
-                self.auth.sign_point_to_point(own_vc, peer)
-                self.env.send(peer, own_vc)
+                resigned = self.auth.sign_point_to_point(own_vc, peer)
+                self.env.send(peer, resigned)
             if (
                 not message.has_new_view
                 and state.new_view is not None
                 and self.config.primary_of(message.view) == self.id
             ):
-                self.auth.sign_point_to_point(state.new_view, peer)
-                self.env.send(peer, state.new_view)
+                resigned = self.auth.sign_point_to_point(state.new_view, peer)
+                self.env.send(peer, resigned)

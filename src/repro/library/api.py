@@ -99,6 +99,23 @@ class ShardedKVService:
         service.invoke(b"SET colour blue")
         moved = service.migrate(service.buckets_of(1)[:64], target_group=0)
         assert service.invoke(b"GET colour", read_only=True) == b"blue"
+
+    ``auto_rebalance=True`` arms the load-driven rebalancing loop: the
+    cluster watches per-bucket traffic online and migrates hot bucket
+    ranges off an overloaded group by itself, while requests keep
+    flowing (queued during each short freeze window and re-issued at
+    the new owner — never lost or reordered).  A celebrity hot key
+    drains off its group without any operator call::
+
+        service = ShardedKVService(groups=2, f=1, auto_rebalance=True)
+        for _ in range(400):          # every client piles onto one key
+            service.invoke(b"SET celebrity followers+1")
+        service.cluster.run(duration=500_000)   # a few policy ticks
+        assert service.rebalancer.migrations_issued >= 1
+        assert service.invoke(b"GET celebrity", read_only=True)
+
+    The default (``auto_rebalance=False``) keeps the static-partition
+    baseline measurable: same workload, controller never armed.
     """
 
     def __init__(
@@ -109,6 +126,8 @@ class ShardedKVService:
         params: ModelParameters = PAPER_PARAMETERS,
         seed: int = 0,
         checkpoint_interval: int = 16,
+        auto_rebalance: bool = False,
+        rebalancer_config=None,
     ) -> None:
         from repro.sharding import ShardedKVCluster
 
@@ -119,6 +138,8 @@ class ShardedKVService:
             params=params,
             seed=seed,
             checkpoint_interval=checkpoint_interval,
+            auto_rebalance=auto_rebalance,
+            rebalancer_config=rebalancer_config,
         )
         self._default_client = self.cluster.new_client()
 
@@ -136,6 +157,16 @@ class ShardedKVService:
     @property
     def router(self):
         return self.cluster.router
+
+    @property
+    def rebalancer(self):
+        """The auto-rebalance controller (None unless opted in)."""
+        return self.cluster.rebalancer
+
+    @property
+    def loadstats(self):
+        """Live per-group/per-bucket load counters."""
+        return self.cluster.loadstats
 
     @property
     def epoch(self) -> int:

@@ -61,6 +61,9 @@ class SimEnv(Env):
     def cancel_timer(self, label: str) -> None:
         self._node.cancel_timer(label)
 
+    def timer_running(self, label: str) -> bool:
+        return self._node.timer_running(label)
+
     def charge(self, micros: float) -> None:
         self._node.pending_charge += micros
 
@@ -274,6 +277,10 @@ class ProtocolNode(Node):
         timer = self._timers.get(label)
         if timer is not None:
             timer.stop()
+
+    def timer_running(self, label: str) -> bool:
+        timer = self._timers.get(label)
+        return timer is not None and timer.running
 
     # ----------------------------------------------------------------- metrics
     def record(self, event: str, details: Dict[str, Any]) -> None:
@@ -521,9 +528,15 @@ class BFTCluster:
         )
         node.protocol = client
         # Install the client's session keys at every replica so they can
-        # authenticate its requests (and it their replies).
+        # authenticate its requests (and it their replies).  Pin epoch 0:
+        # the client built its table with the initial-key derivation, while
+        # a replica's own epoch counter advances with every proactive
+        # recovery — a client created after a recovery would otherwise get
+        # mismatched keys and every request silently rejected until a view
+        # change (client keys are refreshed only by the clients' own
+        # new-key messages, which the simulation does not model).
         for replica in self.replicas.values():
-            replica.auth.keys.install_pair(name)
+            replica.auth.keys.install_pair(name, epoch=0)
         sync = SyncClient(self, client, node)
         self.clients[name] = sync
         return sync

@@ -18,24 +18,47 @@ and network:
   the source replicas (``f + 1`` matching claims prove a page), and
   installing the verified pages into the target group
   (``install_pages``); requests for moved keys issued while the range is
-  in flight are redirected to the new owner instead of being lost.
+  in flight are redirected to the new owner instead of being lost;
+* :class:`LoadStats` — always-on per-group/per-bucket op counters over a
+  decayed fixed-window ring keyed on scheduler time, sampled on the
+  router hot path (:func:`load_imbalance` is the shared imbalance
+  definition the runtime and the benchmarks both use);
+* :class:`ShardRebalancer` — the load-driven policy loop
+  (``auto_rebalance=True``): periodic scheduler-timer ticks detect hot
+  buckets, greedily plan the minimal hot->cold move
+  (:func:`plan_rebalance`), and drive chunked migrations while client
+  traffic keeps flowing.
 """
 
 from repro.sharding.cluster import ShardClient, ShardedKVCluster
+from repro.sharding.loadstats import LoadStats, LoadStatsConfig, load_imbalance
 from repro.sharding.migration import (
     MigrationError,
     MigrationMetrics,
     migrate_bucket_range,
     modeled_pages_cost,
 )
+from repro.sharding.rebalancer import (
+    RebalancePlan,
+    RebalancerConfig,
+    ShardRebalancer,
+    plan_rebalance,
+)
 from repro.sharding.router import ShardRouter
 
 __all__ = [
+    "LoadStats",
+    "LoadStatsConfig",
     "MigrationError",
     "MigrationMetrics",
+    "RebalancePlan",
+    "RebalancerConfig",
     "ShardClient",
+    "ShardRebalancer",
     "ShardRouter",
     "ShardedKVCluster",
+    "load_imbalance",
     "migrate_bucket_range",
     "modeled_pages_cost",
+    "plan_rebalance",
 ]

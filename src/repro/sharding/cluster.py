@@ -29,6 +29,7 @@ from repro.net.network import Network
 from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
 from repro.services.interface import Service
 from repro.services.kvstore import KeyValueStore
+from repro.sharding.loadstats import LoadStats, LoadStatsConfig
 from repro.sharding.router import ShardRouter, key_of_operation
 from repro.sim.faults import FaultSpec
 from repro.sim.rng import SimRandom
@@ -99,9 +100,12 @@ class ShardClient:
         if self.router.is_frozen_bucket(bucket):
             self.router.queued.append((self, operation, read_only))
             return None
-        return self._issue(
-            self.router.group_of_bucket(bucket), operation, read_only, external
-        )
+        group = self.router.group_of_bucket(bucket)
+        # Load accounting happens at *issue* time, after the freeze check:
+        # an operation queued by a migration is counted exactly once, when
+        # the queue flush re-submits it to the bucket's new owner.
+        self.sharded.loadstats.record(bucket, group)
+        return self._issue(group, operation, read_only, external)
 
     def _issue(
         self, group: int, operation: bytes, read_only: bool, external: bool
@@ -138,6 +142,7 @@ class ShardClient:
                 "blocking invoke during a migration of the key's bucket range"
             )
         group = self.router.group_of_bucket(bucket)
+        self.sharded.loadstats.record(bucket, group)
         self.sharded.outstanding[group] += 1
         return self._group_clients[group].invoke(
             operation, read_only=read_only, timeout=timeout
@@ -157,7 +162,17 @@ class ShardClient:
 
 
 class ShardedKVCluster:
-    """``G`` independent PBFT groups behind one hash-partitioned router."""
+    """``G`` independent PBFT groups behind one hash-partitioned router.
+
+    ``auto_rebalance=True`` opts into the load-driven rebalancing loop:
+    a :class:`~repro.sharding.rebalancer.ShardRebalancer` watches the
+    always-on :class:`~repro.sharding.loadstats.LoadStats` counters on a
+    scheduler timer and drives chunked bucket-range migrations from the
+    hottest to the coldest group while traffic keeps flowing.  The
+    default (off) keeps the static-partition baseline measurable — the
+    same workload runs on the same code with the controller simply never
+    armed.
+    """
 
     def __init__(
         self,
@@ -170,6 +185,9 @@ class ShardedKVCluster:
         seed: int = 0,
         checkpoint_interval: int = 16,
         record_events: bool = False,
+        auto_rebalance: bool = False,
+        rebalancer_config=None,
+        loadstats_config: LoadStatsConfig = LoadStatsConfig(),
         **config_overrides,
     ) -> None:
         self.num_groups = groups
@@ -220,6 +238,19 @@ class ShardedKVCluster:
         self._coordinator_clients: Dict[int, SyncClient] = {}
         #: Metrics of every completed migration, in order.
         self.migrations: List["MigrationMetrics"] = []  # noqa: F821
+        #: Always-on per-group/per-bucket load accounting, sampled on the
+        #: router hot path in scheduler time (deterministic).
+        self.loadstats = LoadStats(
+            num_groups=groups, clock=self.scheduler.clock, config=loadstats_config
+        )
+        self.rebalancer = None
+        if auto_rebalance:
+            from repro.sharding.rebalancer import RebalancerConfig, ShardRebalancer
+
+            self.rebalancer = ShardRebalancer(
+                self, rebalancer_config or RebalancerConfig()
+            )
+            self.rebalancer.start()
 
     # ----------------------------------------------------------------- set-up
     def group(self, index: int) -> BFTCluster:

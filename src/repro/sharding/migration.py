@@ -179,6 +179,17 @@ def migrate_bucket_range(
     f = source.config.f
     need_stable = source.config.quorum  # 2f + 1
 
+    # One migration at a time: the fence/quiesce phases below drive the
+    # shared scheduler, so a timer callback (e.g. a rebalancer tick) can
+    # run while this migration is in flight — a nested call would clobber
+    # ``frozen_groups`` and silently unfreeze the outer migration's groups
+    # mid-export.  Refuse loudly instead; ownership stays unchanged.
+    if router.frozen_groups:
+        raise MigrationError(
+            "a migration is already in flight (router groups "
+            f"{sorted(router.frozen_groups)} are frozen)"
+        )
+
     # 1. Freeze both groups and drain their in-flight router requests.
     router.freeze({source_group, target_group})
     try:

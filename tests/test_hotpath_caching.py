@@ -315,11 +315,17 @@ def test_wire_size_tracks_auth_reassignment():
                          sender="replica0")
     sender.sign_multicast(message, ("replica1", "replica2", "replica3"))
     multicast_size = message.wire_size()
-    sender.sign_point_to_point(message, "replica1")
-    p2p_size = message.wire_size()
+    # Re-signing an already-authenticated message returns a copy (the
+    # original may still sit in an undelivered envelope); the copy's
+    # cached wire size must track its new, smaller authenticator while
+    # the original keeps both its auth and its size.
+    resigned = sender.sign_point_to_point(message, "replica1")
+    assert resigned is not message
+    p2p_size = resigned.wire_size()
     assert multicast_size != p2p_size
+    assert message.wire_size() == multicast_size
     with hotpath.caches_disabled():
-        assert message.wire_size() == p2p_size
+        assert resigned.wire_size() == p2p_size
 
 
 # ------------------------------------------------------------------- toggle

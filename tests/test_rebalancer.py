@@ -1,0 +1,518 @@
+"""Unit, property and fault-injection tests for load-driven rebalancing.
+
+Covers the three layers of the rebalancing stack separately and together:
+
+* :mod:`repro.sharding.loadstats` — the decayed fixed-window counters the
+  policy reads (window roll, decay, gap aging, determinism) and the
+  shared :func:`load_imbalance` definition;
+* :func:`repro.sharding.rebalancer.plan_rebalance` — the greedy
+  hot->cold bucket selection (no-op when balanced, the overshoot guard,
+  the per-cycle cap);
+* :class:`repro.sharding.rebalancer.ShardRebalancer` — the policy loop's
+  debounce (``settle_ticks``), noise floor (``min_window_ops``),
+  ``cooldown``, chunking and the reentrancy latch that keeps a policy
+  tick firing *during* a migration (migrations drive the shared
+  scheduler) from starting a nested one;
+* end to end — back-to-back chunked migrations under live closed-loop
+  traffic execute every operation exactly once, a hypothesis property
+  that any rebalancing schedule preserves the KV state byte-for-byte
+  against a plain-dict replay, and a partitioned source replica that
+  heals after a rebalancer-driven migration and converges to the
+  post-migration state.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench import run_closed_loop
+from repro.services.kvstore import KeyValueStore
+from repro.sharding import (
+    LoadStats,
+    LoadStatsConfig,
+    MigrationError,
+    RebalancerConfig,
+    ShardRebalancer,
+    ShardRouter,
+    ShardedKVCluster,
+    load_imbalance,
+    plan_rebalance,
+)
+from repro.sim.scheduler import Scheduler
+
+
+# ------------------------------------------------------------ load_imbalance
+def test_load_imbalance_shared_definition():
+    assert load_imbalance([]) == 1.0
+    assert load_imbalance([0, 0, 0]) == 1.0  # no traffic = balanced
+    assert load_imbalance([10, 10, 10, 10]) == 1.0
+    assert load_imbalance([40, 0, 0, 0]) == 4.0  # one group takes it all
+    assert load_imbalance([30, 10]) == 1.5
+
+
+# ----------------------------------------------------------------- LoadStats
+class _ManualClock:
+    """A clock the tests advance by hand (LoadStats only reads ``now``)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _stats(window=100.0, windows=4, decay=0.5):
+    clock = _ManualClock()
+    config = LoadStatsConfig(window=window, windows=windows, decay=decay)
+    return LoadStats(num_groups=2, clock=clock, config=config), clock
+
+
+def test_loadstats_window_roll_and_decay():
+    stats, clock = _stats()
+    for _ in range(4):
+        stats.record(bucket=1, group=0)
+    clock.now = 150.0  # window index 1
+    for _ in range(2):
+        stats.record(bucket=2, group=1)
+
+    # Window 0 is one window old (weight 0.5), window 1 current (1.0).
+    assert stats.bucket_weights() == {1: 4 * 0.5, 2: 2 * 1.0}
+    assert stats.group_load() == [2.0, 2.0]
+    assert stats.imbalance() == 1.0
+    assert stats.windowed_ops() == 6  # the noise floor is undecayed
+    # Cumulative view never decays.
+    assert stats.group_totals == [4, 2]
+    assert stats.total_ops == 6
+
+
+def test_loadstats_old_windows_age_out_cumulative_does_not():
+    stats, clock = _stats()
+    for _ in range(8):
+        stats.record(bucket=3, group=0)
+    clock.now = 100.0 * 5  # every live window is now >= 4 windows old
+    assert stats.bucket_weights() == {}
+    assert stats.group_load() == [0.0, 0.0]
+    assert stats.windowed_ops() == 0
+    assert stats.imbalance() == 1.0
+    assert stats.group_totals == [8, 0]
+    assert stats.total_ops == 8
+
+
+def test_loadstats_long_gap_clears_the_ring():
+    stats, clock = _stats()
+    stats.record(bucket=0, group=0)
+    clock.now = 100.0 * 40  # far past the ring
+    stats.record(bucket=5, group=1)
+    assert stats.bucket_weights() == {5: 1.0}
+    assert stats.group_totals == [1, 1]
+
+
+def test_loadstats_is_deterministic():
+    """Identical record sequences at identical clock readings produce
+    identical windowed views (the policy input is a pure function of the
+    simulated timeline)."""
+    sequence = [(0.0, 1, 0), (30.0, 1, 0), (120.0, 9, 1), (260.0, 1, 0)]
+    views = []
+    for _ in range(2):
+        stats, clock = _stats()
+        for now, bucket, group in sequence:
+            clock.now = now
+            stats.record(bucket, group)
+        views.append(
+            (stats.bucket_weights(), stats.group_load(), stats.windowed_ops())
+        )
+    assert views[0] == views[1]
+
+
+# ------------------------------------------------------------ plan_rebalance
+def test_plan_noop_when_balanced_or_single_group():
+    ownership = [0, 0, 1, 1]
+    assert plan_rebalance({0: 5.0, 2: 5.0}, ownership, 2, 8) is None
+    assert plan_rebalance({}, ownership, 2, 8) is None
+    assert plan_rebalance({0: 9.0}, [0, 0], 1, 8) is None
+
+
+def test_plan_overshoot_guard_skips_monolithic_hot_bucket():
+    """One bucket holding the whole hot load cannot be moved: moving it
+    would just swap which group is hot."""
+    ownership = [0, 0, 1, 1]
+    assert plan_rebalance({0: 10.0, 2: 1.0}, ownership, 2, 8) is None
+
+
+def test_plan_greedy_pick_strictly_reduces_imbalance():
+    ownership = [0, 0, 1]
+    plan = plan_rebalance({0: 6.0, 1: 2.0, 2: 1.0}, ownership, 2, 8)
+    assert plan is not None
+    assert plan.hot_group == 0 and plan.cold_group == 1
+    # Bucket 0 (weight 6 < gap 7) is taken; bucket 1 would then overshoot.
+    assert plan.buckets == (0,)
+    assert plan.moved_weight == 6.0
+    assert plan.imbalance_predicted < plan.imbalance_before
+
+
+def test_plan_respects_max_buckets_cap():
+    # Eleven equal-weight hot buckets admit five strictly-improving picks;
+    # the cap stops the plan at two.
+    weights = {bucket: 1.0 for bucket in range(11)}
+    ownership = [0] * 16 + [1] * 16
+    full = plan_rebalance(weights, ownership, 2, 64)
+    assert full is not None and len(full.buckets) == 5
+    capped = plan_rebalance(weights, ownership, 2, 2)
+    assert capped is not None and capped.buckets == full.buckets[:2]
+
+
+# ------------------------------------------------- ShardRebalancer (policy)
+class _StubSharded:
+    """The minimal surface the rebalancer touches, with a recording
+    ``migrate_buckets`` instead of the real protocol machinery."""
+
+    def __init__(self, num_buckets=8, on_migrate=None):
+        self.scheduler = Scheduler()
+        self.router = ShardRouter(
+            num_groups=2, num_buckets=num_buckets, bucket_fn=lambda key: 0
+        )
+        self.loadstats = LoadStats(
+            num_groups=2,
+            clock=self.scheduler.clock,
+            config=LoadStatsConfig(window=10_000.0, windows=4, decay=0.5),
+        )
+        self.chunks = []
+        self._on_migrate = on_migrate
+
+    def migrate_buckets(self, buckets, target_group):
+        self.chunks.append((tuple(buckets), target_group))
+        if self._on_migrate is not None:
+            self._on_migrate()
+        self.router.assign(buckets, target_group)
+        return SimpleNamespace(bytes_moved=100 * len(buckets), redirected_ops=1)
+
+
+def _policy(stub, **overrides) -> ShardRebalancer:
+    knobs = dict(
+        check_interval=1_000.0,
+        trigger_imbalance=1.25,
+        min_window_ops=4,
+        cooldown=50_000.0,
+        max_chunk_buckets=16,
+        max_buckets_per_cycle=8,
+        settle_ticks=2,
+    )
+    knobs.update(overrides)
+    return ShardRebalancer(stub, RebalancerConfig(**knobs))
+
+
+def _skew(stub, ops_per_bucket, buckets=(0, 1)):
+    """All load on group 0 (the stub's initial owner of buckets 0..3)."""
+    for bucket in buckets:
+        for _ in range(ops_per_bucket):
+            stub.loadstats.record(bucket, stub.router.group_of_bucket(bucket))
+
+
+def test_settle_ticks_debounce_one_noisy_window_never_migrates():
+    stub = _StubSharded()
+    policy = _policy(stub)
+    _skew(stub, 5)
+    policy._evaluate()  # first over-trigger tick: streak 1 of 2
+    assert stub.chunks == [] and policy.migrations_issued == 0
+    policy._evaluate()  # the imbalance persisted: act
+    assert policy.migrations_issued >= 1
+    assert stub.router.epoch >= 1
+
+
+def test_streak_resets_when_imbalance_clears_between_ticks():
+    stub = _StubSharded()
+    policy = _policy(stub)
+    _skew(stub, 5)
+    policy._evaluate()  # streak 1
+    for bucket in (4, 5):  # group 1 catches up: balanced again
+        for _ in range(5):
+            stub.loadstats.record(bucket, stub.router.group_of_bucket(bucket))
+    policy._evaluate()  # balanced tick resets the streak
+    _skew(stub, 20)  # skew returns
+    policy._evaluate()  # streak 1 again, not 2
+    assert stub.chunks == [] and policy.migrations_issued == 0
+
+
+def test_min_window_ops_noise_floor():
+    stub = _StubSharded()
+    policy = _policy(stub)
+    _skew(stub, 1)  # 2 ops of pure skew: signal-free
+    for _ in range(4):
+        policy._evaluate()
+    assert stub.chunks == [] and policy.cycles == 4
+
+
+def test_cooldown_blocks_the_next_burst():
+    stub = _StubSharded()
+    policy = _policy(stub, settle_ticks=1)
+    _skew(stub, 5)
+    policy._evaluate()
+    assert policy.migrations_issued == 1
+    # Post-migration ownership maps the old skew to group 1; pile fresh
+    # skew on what group 0 still owns so the trigger would fire again.
+    remaining = stub.router.buckets_owned_by(0)
+    _skew(stub, 10, buckets=remaining[:2])
+    issued = policy.migrations_issued
+    policy._evaluate()  # still inside the cooldown
+    assert policy.migrations_issued == issued
+    stub.scheduler.clock.advance_to(policy.cooldown_until + 1.0)
+    _skew(stub, 10, buckets=remaining[:2])  # skew persists past the cooldown
+    policy._evaluate()
+    assert policy.migrations_issued > issued
+
+
+def test_burst_is_chunked_by_max_chunk_buckets():
+    stub = _StubSharded(num_buckets=32)
+    policy = _policy(stub, settle_ticks=1, max_chunk_buckets=2,
+                     max_buckets_per_cycle=64)
+    _skew(stub, 1, buckets=tuple(range(11)))
+    policy._evaluate()
+    # Eleven equal-weight buckets -> five picked, in chunks of 2+2+1.
+    assert [len(chunk) for chunk, _target in stub.chunks] == [2, 2, 1]
+    assert policy.migrations_issued == 3
+    assert policy.redirected_ops == 3  # the stub reports 1 per chunk
+
+
+def test_reentrant_tick_during_migration_is_a_noop():
+    """Migrations drive the shared scheduler, so a policy tick can fire
+    mid-migration; the latch must keep it from planning a nested burst."""
+    reentered = []
+
+    def reenter():
+        # Simulates the scheduler firing the policy timer while
+        # migrate_buckets is quiescing/fencing.
+        before = len(stub.chunks)
+        policy._tick()
+        reentered.append(len(stub.chunks) - before)
+
+    stub = _StubSharded(on_migrate=reenter)
+    policy = _policy(stub, settle_ticks=1)
+    policy.active = True  # as after start(), without arming a real timer
+    _skew(stub, 5)
+    policy._evaluate()
+    assert policy.migrations_issued == 1
+    # Each reentrant tick saw the latch and issued nothing.
+    assert reentered and all(extra == 0 for extra in reentered)
+
+
+def test_start_stop_timer_lifecycle():
+    stub = _StubSharded()
+    policy = _policy(stub)
+    policy.start()
+    stub.scheduler.run(until=3_500.0)
+    assert policy.cycles == 3
+    policy.stop()
+    stub.scheduler.run(until=10_000.0)
+    assert policy.cycles == 3  # stopped: the tick chain is cancelled
+
+
+def test_migration_refuses_nested_call_when_router_frozen():
+    """The mechanism-level guard behind the latch: a migration attempted
+    while another has the router frozen fails loudly instead of
+    clobbering the freeze and racing the in-flight export."""
+    sharded = ShardedKVCluster(groups=2, f=1, checkpoint_interval=8)
+    client = sharded.new_client()
+    client.invoke(b"SET guard 1")
+    sharded.router.freeze({0})
+    try:
+        with pytest.raises(MigrationError):
+            sharded.migrate_buckets(sharded.router.buckets_owned_by(0)[:2], 1)
+    finally:
+        assert sharded.router.unfreeze() == []
+    assert sharded.router.epoch == 0
+
+
+# ------------------------------------------------------------- end to end
+def _aggressive_config(max_chunk_buckets=1) -> RebalancerConfig:
+    return RebalancerConfig(
+        check_interval=2_000.0,
+        trigger_imbalance=1.1,
+        min_window_ops=8,
+        cooldown=5_000.0,
+        max_chunk_buckets=max_chunk_buckets,
+        max_buckets_per_cycle=8,
+        settle_ticks=1,
+    )
+
+
+def _group0_keys(router, prefix: bytes, count: int):
+    """Deterministic keys the epoch-0 table routes to group 0."""
+    keys = []
+    index = 0
+    while len(keys) < count:
+        key = prefix + b"%03d" % index
+        index += 1
+        if router.group_of_key(key) == 0:
+            keys.append(key)
+    return keys
+
+
+def test_back_to_back_chunked_migrations_execute_every_op_exactly_once():
+    """Single-bucket chunks force many consecutive freeze/flush rounds
+    while closed-loop traffic keeps flowing: every queued operation must
+    be re-issued exactly once at the bucket's new owner."""
+    sharded = ShardedKVCluster(
+        groups=2,
+        f=1,
+        checkpoint_interval=8,
+        auto_rebalance=True,
+        rebalancer_config=_aggressive_config(max_chunk_buckets=1),
+        loadstats_config=LoadStatsConfig(window=10_000.0),
+    )
+    num_clients, ops = 6, 20
+    hot = {
+        client: _group0_keys(sharded.router, b"c%d-hot" % client, 3)
+        for client in range(num_clients)
+    }
+
+    def factory(client_index: int, op_index: int):
+        keys = hot[client_index]
+        key = keys[op_index % len(keys)]
+        return (b"SET " + key + b" v%03d" % op_index, False)
+
+    result = run_closed_loop(sharded, num_clients, ops, factory)
+    policy = sharded.rebalancer
+
+    assert result.per_client == [ops] * num_clients  # exactly once, in order
+    assert policy.errors == []
+    assert policy.migrations_issued >= 2  # back-to-back single-bucket chunks
+    assert sharded.router.epoch >= 2
+    assert policy.redirected_ops >= 1  # the freezes really queued traffic
+    assert sharded.group_digests_converged()
+
+    # Per-client program order survived the redirections: every key holds
+    # the value of its writer's *last* SET (key sets are disjoint).
+    expected = {}
+    for client_index in range(num_clients):
+        for op_index in range(ops):
+            operation, _read_only = factory(client_index, op_index)
+            _verb, key, value = operation.split(b" ", 2)
+            expected[key] = value
+    union = {
+        key: value
+        for key, value in sharded.state_union().items()
+        if not key.startswith(b"__fence:")
+    }
+    assert union == expected
+
+
+@st.composite
+def _schedules(draw):
+    ops = draw(st.integers(min_value=4, max_value=8))
+    keys = [
+        draw(st.lists(st.integers(0, 3), min_size=ops, max_size=ops))
+        for _ in range(3)
+    ]
+    return ops, keys
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=_schedules())
+def test_rebalancing_preserves_state_union(schedule):
+    """For any workload, the KV state after an aggressively auto-rebalanced
+    run is byte-identical to a plain-dict replay — migrations move
+    ownership, never data."""
+    ops, key_indices = schedule
+    sharded = ShardedKVCluster(
+        groups=2,
+        f=1,
+        checkpoint_interval=4,
+        auto_rebalance=True,
+        rebalancer_config=_aggressive_config(max_chunk_buckets=2),
+        loadstats_config=LoadStatsConfig(window=10_000.0),
+    )
+
+    def factory(client_index: int, op_index: int):
+        key = b"c%dk%d" % (client_index, key_indices[client_index][op_index])
+        return (b"SET " + key + b" v%d.%d" % (client_index, op_index), False)
+
+    result = run_closed_loop(sharded, len(key_indices), ops, factory)
+    assert result.per_client == [ops] * len(key_indices)
+    assert sharded.rebalancer.errors == []
+    assert sharded.group_digests_converged()
+
+    model = {}
+    for client_index in range(len(key_indices)):
+        for op_index in range(ops):
+            operation, _read_only = factory(client_index, op_index)
+            _verb, key, value = operation.split(b" ", 2)
+            model[key] = value
+    union = {
+        key: value
+        for key, value in sharded.state_union().items()
+        if not key.startswith(b"__fence:")
+    }
+    assert union == model
+
+
+def test_partitioned_source_replica_heals_to_post_migration_state():
+    """A source-group replica partitioned across a rebalancer-driven
+    migration: the migration completes from the three live replicas, and
+    after the heal the lagging replica state-transfers to the
+    post-migration checkpoint instead of resurrecting moved keys."""
+    sharded = ShardedKVCluster(
+        groups=2,
+        f=1,
+        checkpoint_interval=8,
+        auto_rebalance=True,
+        rebalancer_config=_aggressive_config(max_chunk_buckets=4),
+        loadstats_config=LoadStatsConfig(window=10_000.0),
+    )
+    num_clients, ops = 4, 24
+    lagging = "g0:replica3"
+    peers = ["g0:replica0", "g0:replica1", "g0:replica2", "migrate@g0"]
+    peers += [f"shard-client{i}@g0" for i in range(num_clients)]
+    for other in peers:
+        sharded.conditions.partition(lagging, other)
+
+    hot = {
+        client: _group0_keys(sharded.router, b"c%d-hot" % client, 3)
+        for client in range(num_clients)
+    }
+
+    def factory(client_index: int, op_index: int):
+        keys = hot[client_index]
+        key = keys[op_index % len(keys)]
+        return (b"SET " + key + b" v%03d" % op_index, False)
+
+    result = run_closed_loop(sharded, num_clients, ops, factory)
+    policy = sharded.rebalancer
+    assert result.per_client == [ops] * num_clients
+    assert policy.errors == []
+    assert policy.migrations_issued >= 1  # three live replicas sufficed
+    moved = [
+        bucket for plan in policy.plans for bucket in plan.buckets
+    ]
+    assert moved
+
+    sharded.conditions.heal_all()
+    policy.stop()  # the healing phase measures recovery, not policy
+    # Post-heal traffic to group 0 crosses checkpoint intervals, whose
+    # certificates tell the healed replica to fetch; keep nudging until it
+    # has caught up to its peers.
+    settle = sharded.new_client("settle")
+    replica = sharded.group(0).replicas[lagging]
+    group0 = sharded.group(0).replicas
+    index = 0
+    for _round in range(30):
+        if (
+            replica.state_transfer.metrics.transfers_completed >= 1
+            and replica.last_executed
+            == max(r.last_executed for r in group0.values())
+        ):
+            break
+        key = b"settle%03d" % index
+        index += 1
+        if sharded.router.group_of_key(key) == 0:
+            settle.invoke(b"SET " + key + b" x")
+        sharded.run(duration=1_000_000)
+    assert replica.state_transfer.metrics.transfers_completed >= 1
+    assert replica.last_executed == max(r.last_executed for r in group0.values())
+    assert sharded.group_digests_converged()
+    # The healed replica holds the post-migration state: no moved keys.
+    moved_set = set(moved)
+    for client_keys in hot.values():
+        for key in client_keys:
+            if KeyValueStore.bucket_of(key) in moved_set:
+                assert replica.service.get(key) is None, key
