@@ -47,6 +47,7 @@ for _path in (os.path.join(REPO_ROOT, "src"), os.path.dirname(os.path.abspath(__
 import test_bench_batch_exec as _bench_batchexec
 import test_bench_checkpoint_pipeline as _bench_checkpoint
 import test_bench_hotpath as _bench_hotpath
+import test_bench_large_n as _bench_largen
 import test_bench_rebalancing as _bench_rebalancing
 import test_bench_sharding as _bench_sharding
 import test_bench_state_transfer_pages as _bench_statetransfer
@@ -108,6 +109,30 @@ EXPERIMENTS = {
         # 4-group deployment must keep scaling).
         "row_floors": {"groups=4": _bench_sharding.FULL_SCALING_FLOOR},
     },
+    "largen": {
+        "record": "BENCH_largen.json",
+        "module": "benchmarks/test_bench_large_n.py",
+        # The gated headline is the f=10 per-round protocol-message ratio
+        # (flat / tree wire messages per agreement round) — modeled and
+        # load-invariant, so one fresh run and no retry slack.
+        "speedup_floor": _bench_largen.FULL_MESSAGE_RATIO_FLOOR,
+        "required_workload_fragments": [
+            "headline", "f=1", "f=2", "f=4", "f=6", "f=10",
+        ],
+        "headline_key": "headline_message_ratio",
+        "ratio_key": "message_ratio",
+        "side_metric": "per_round_messages",
+        "deterministic": True,
+        # The f=10 row must also not lose wall clock (the bench itself
+        # retries one miss before recording, so the committed value is
+        # already noise-damped).
+        "row_value_floors": {
+            "headline": ("wall_speedup", _bench_largen.FULL_WALL_SPEEDUP_FLOOR),
+        },
+        # Every NBFT-style adversarial configuration in the record must
+        # have completed all of its operations.
+        "adversarial_floor": 1.0,
+    },
     "rebalancing": {
         "record": "BENCH_rebalancing.json",
         "module": "benchmarks/test_bench_rebalancing.py",
@@ -160,6 +185,13 @@ def check_schema(name: str, spec: dict, record: dict) -> list:
                     f"workload {row.get('workload')!r} {ratio_key} "
                     f"{row.get(ratio_key)}x below the {floor}x floor"
                 )
+    for fragment, (value_key, floor) in spec.get("row_value_floors", {}).items():
+        for row in record.get("macro", []):
+            if fragment in row.get("workload", "") and row.get(value_key, 0) < floor:
+                problems.append(
+                    f"workload {row.get('workload')!r} {value_key} "
+                    f"{row.get(value_key)} below the {floor} floor"
+                )
     for row in record.get("macro", []):
         if ratio_key not in row:
             problems.append(f"workload {row.get('workload')!r} lacks {ratio_key!r}")
@@ -168,6 +200,17 @@ def check_schema(name: str, spec: dict, record: dict) -> list:
                 problems.append(
                     f"workload {row.get('workload')!r} lacks {side} "
                     f"{side_metric!r}"
+                )
+    adversarial_floor = spec.get("adversarial_floor")
+    if adversarial_floor is not None:
+        rows = record.get("adversarial", [])
+        if not rows:
+            problems.append("missing adversarial sweep rows")
+        for row in rows:
+            if row.get("success_rate", 0) < adversarial_floor:
+                problems.append(
+                    f"adversarial config {row.get('config')!r} success_rate "
+                    f"{row.get('success_rate')} below {adversarial_floor}"
                 )
     return problems
 

@@ -61,12 +61,18 @@ def _throughput_run(f: int, clients: int, ops_per_client: int) -> dict:
     watch = StopWatch()
     result = measure_throughput(cluster, clients, ops_per_client, micro_operation(0, 0))
     wall = watch.wall_seconds
+    # Wire traffic from the shared net accounting (one definition across
+    # E13/E16/E20), so the f-scaling rows show the O(n²) message growth
+    # next to the wall-clock numbers.
+    totals = cluster.network.stats.wire_totals()
     return {
         "completed": result.completed,
         **watch.times(),
         "wall_ops_per_second": round(result.completed / wall, 1),
         "modeled_ops_per_second": round(result.ops_per_second, 1),
         "modeled_mean_latency_us": round(result.mean_latency, 3),
+        "messages_sent": totals["messages_sent"],
+        "payload_bytes": totals["payload_bytes"],
     }
 
 

@@ -115,7 +115,12 @@ def _migration_run(
     )
     union_before = sharded.state_union()
     moved_range = sharded.router.buckets_owned_by(0)[:migrate_buckets]
+    # Wire cost of the migration itself, from the shared net accounting
+    # (same counters E13/E20 read) instead of an ad-hoc tally: snapshot
+    # around the migration and record the delta.
+    wire_before = sharded.network.stats.wire_totals()
     metrics = sharded.migrate_buckets(moved_range, target_group=1)
+    wire_after = sharded.network.stats.wire_totals()
     union_after = sharded.state_union()
     extra = {
         key for key in union_after if key not in union_before
@@ -127,6 +132,12 @@ def _migration_run(
         "churn_completed": churn.completed,
         **metrics.modeled_view(),
         "bytes_moved": metrics.bytes_moved,
+        "migration_messages_sent": (
+            wire_after["messages_sent"] - wire_before["messages_sent"]
+        ),
+        "migration_payload_bytes": (
+            wire_after["payload_bytes"] - wire_before["payload_bytes"]
+        ),
         "union_keys": len(union_after),
         **watch.times(),
     }

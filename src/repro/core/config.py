@@ -157,6 +157,32 @@ class ProtocolOptions:
     recovery_state_check_cost: float = 200_000.0
     #: Session-key refreshment period in microseconds (Section 4.3.1).
     key_refresh_period: float = 15_000_000.0
+    #: How agreement-phase multicasts (PREPARE/COMMIT/CHECKPOINT) reach the
+    #: other replicas: ``"flat"`` is the paper's all-to-all fan-out;
+    #: ``"tree"`` routes them over deterministic per-(view, sender) k-ary
+    #: relay trees with end-to-end authenticator vectors piggybacked on the
+    #: relayed copies (``net/overlay.py``) — the optional large-n mode.
+    dissemination: str = "flat"
+    #: Branching factor of the relay trees (tree mode only).
+    relay_fanout: int = 3
+    #: Hold window in microseconds during which a relay coalesces all
+    #: entries owed to the same next hop into one bundle; this aggregation
+    #: is what cuts the per-round wire-message count below flat mode.
+    #: Small relative to a large-group round (~2ms at n=31), and the
+    #: amortized per-envelope receive cost more than pays it back.
+    relay_hold_us: float = 500.0
+    #: Period in microseconds of the per-node relay watchdog that detects
+    #: silent interior nodes and triggers flat fallback for the round's
+    #: remaining views (tree mode only).
+    relay_watchdog_period: float = 50_000.0
+    #: Strip piggybacked authenticator vectors down to the receiving
+    #: subtree's entries when relaying (pure bandwidth optimization; MAC
+    #: verification is end-to-end either way).
+    relay_strip_auth: bool = True
+
+    def with_tree_dissemination(self, **changes) -> "ProtocolOptions":
+        """The large-n overlay configuration (``dissemination="tree"``)."""
+        return replace(self, dissemination="tree", **changes)
 
     def without_optimizations(self) -> "ProtocolOptions":
         """The unoptimized configuration used as the ablation baseline."""

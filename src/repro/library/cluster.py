@@ -23,6 +23,7 @@ from repro.core.replica import Replica
 from repro.crypto.signatures import SignatureRegistry
 from repro.net.conditions import NetworkConditions
 from repro.net.network import Envelope, Network
+from repro.net.overlay import OverlayDisseminator, Relay, RelayComplaint
 from repro.perfmodel.params import ModelParameters, PAPER_PARAMETERS
 from repro.recovery.manager import RecoveryManager
 from repro.services.interface import Service
@@ -51,9 +52,7 @@ class SimEnv(Env):
         self._node.queue_send_many(pairs)
 
     def broadcast(self, destinations: Tuple[str, ...], message: Any) -> None:
-        for destination in destinations:
-            if destination != self._node.name:
-                self._node.queue_send(destination, message)
+        self._node.queue_broadcast(destinations, message)
 
     def set_timer(self, label: str, delay: float) -> None:
         self._node.set_timer(label, delay)
@@ -97,6 +96,9 @@ class ProtocolNode(Node):
         self.fault_injector = fault_injector
         self.rng = rng
         self.protocol: Any = None
+        #: Tree-mode dissemination logic (``net/overlay.py``); ``None`` in
+        #: the default flat mode and on client nodes.
+        self.disseminator: Optional[OverlayDisseminator] = None
         self.pending_charge = 0.0
         self.cpu_available_at = 0.0
         self.cpu_busy_total = 0.0
@@ -115,7 +117,14 @@ class ProtocolNode(Node):
         self._begin_handling(
             self.params.communication.receive_cpu(envelope.size_bytes)
         )
-        self.protocol.receive(envelope.message)
+        message = envelope.message
+        disseminator = self.disseminator
+        if disseminator is not None and type(message) in (Relay, RelayComplaint):
+            # Overlay traffic: unbundle, forward down the tree, and deliver
+            # the inner (root-authenticated) messages to the protocol.
+            disseminator.on_wire(message)
+        else:
+            self.protocol.receive(message)
         self._finish_handling(busy_start)
 
     def on_timer(self, label: str) -> None:
@@ -179,6 +188,18 @@ class ProtocolNode(Node):
         else:
             for destination, message in pairs:
                 self._transmit(destination, message)
+
+    def queue_broadcast(self, destinations: Tuple[str, ...], message: Any) -> None:
+        """Multicast ``message`` to ``destinations``: flat fan-out by
+        default, or over this node's relay tree when the tree mode claims
+        the message type (``OverlayDisseminator.handles``)."""
+        disseminator = self.disseminator
+        if disseminator is not None and disseminator.handles(message, destinations):
+            disseminator.disseminate(message, destinations)
+            return
+        for destination in destinations:
+            if destination != self.name:
+                self.queue_send(destination, message)
 
     def _transmit(self, destination: str, message: Any) -> None:
         message = self._apply_send_faults(destination, message)
@@ -258,7 +279,43 @@ class ProtocolNode(Node):
                     message.auth = dataclasses.replace(
                         message.auth, corrupt_for=corrupt_for
                     )
+        if isinstance(message, Relay):
+            if injector.has_fault(self.name, FaultType.SILENT_RELAY, now):
+                # A silent interior node: drop every entry we merely relay
+                # for another root, but keep sending our own multicasts.
+                kept = tuple(e for e in message.entries if e.root == self.name)
+                if not kept:
+                    return None
+                if len(kept) < len(message.entries):
+                    mutated = dataclasses.replace(message, entries=kept)
+                    mutated.auth = message.auth
+                    message = mutated
+            if injector.has_fault(self.name, FaultType.TAMPER_RELAY, now):
+                # A tampering interior node: corrupt the relayed payloads
+                # before forwarding.  The roots' MACs cover the payload
+                # digests, so every honest receiver downstream rejects the
+                # forgeries end-to-end.
+                message = self._tamper_relay(message)
         return message
+
+    def _tamper_relay(self, message: "Relay") -> "Relay":
+        entries = []
+        for entry in message.entries:
+            if entry.root == self.name:
+                entries.append(entry)  # its own traffic stays authentic
+                continue
+            inner = entry.inner
+            if hasattr(inner, "digest"):
+                tampered = dataclasses.replace(inner, digest=b"\xde\xad" * 8)
+            elif hasattr(inner, "state_digest"):
+                tampered = dataclasses.replace(inner, state_digest=b"\xde\xad" * 8)
+            else:
+                tampered = dataclasses.replace(inner, sender=inner.sender + "?")
+            tampered.auth = inner.auth
+            entries.append(dataclasses.replace(entry, inner=tampered))
+        mutated = dataclasses.replace(message, entries=tuple(entries))
+        mutated.auth = message.auth
+        return mutated
 
     def _is_crashed(self) -> bool:
         return self.crashed or self.fault_injector.has_fault(
@@ -396,11 +453,19 @@ class BFTCluster:
         self.replica_nodes: Dict[str, ProtocolNode] = {}
         self.services: Dict[str, Service] = {}
         self.clients: Dict[str, SyncClient] = {}
+        self.disseminators: Dict[str, OverlayDisseminator] = {}
         self._client_counter = 0
         self.completed: List[CompletedRequest] = []
 
         for replica_id in config.replica_ids:
             self._build_replica(replica_id, service_factory)
+
+        if options.dissemination == "tree":
+            self._enable_tree_dissemination()
+        elif options.dissemination != "flat":
+            raise ValueError(
+                f"unknown dissemination mode: {options.dissemination!r}"
+            )
 
         if options.proactive_recovery:
             self._schedule_recoveries()
@@ -540,6 +605,22 @@ class BFTCluster:
         sync = SyncClient(self, client, node)
         self.clients[name] = sync
         return sync
+
+    def _enable_tree_dissemination(self) -> None:
+        """Attach an :class:`OverlayDisseminator` to every replica node and
+        stagger their silence watchdogs across the period (so complaint
+        bursts don't synchronize)."""
+        period = self.options.relay_watchdog_period
+        stagger = period / max(1, self.config.n)
+        for index, replica_id in enumerate(self.config.replica_ids):
+            node = self.replica_nodes[replica_id]
+            disseminator = OverlayDisseminator(node, self.config, self.options)
+            node.disseminator = disseminator
+            self.disseminators[replica_id] = disseminator
+            self._schedule_periodic(
+                node, period + stagger * index, period,
+                disseminator.watchdog_tick,
+            )
 
     def _schedule_recoveries(self) -> None:
         """Stagger proactive recoveries so at most one replica recovers at a

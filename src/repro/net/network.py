@@ -29,6 +29,17 @@ class Envelope:
     sent_at: float
 
 
+@dataclass(slots=True)
+class NodeWireStats:
+    """Per-sender traffic counters (one accounting definition for every
+    benchmark: E13's f-scaling rows, E16's migration rows and E20's
+    flat-vs-tree sweep all read these instead of ad-hoc tallies)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    auth_bytes_sent: int = 0
+
+
 @dataclass
 class NetworkStats:
     """Aggregate traffic counters."""
@@ -37,15 +48,52 @@ class NetworkStats:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     bytes_sent: int = 0
+    #: Authentication bytes (MAC fields / authenticator vectors) inside
+    #: ``bytes_sent`` — the overlay benchmarks track them separately
+    #: because authenticator stripping only shrinks this component.
+    auth_bytes_sent: int = 0
     #: Deliveries coalesced onto an existing train instead of getting their
     #: own scheduler heap slot.
     messages_coalesced: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
+    per_node: Dict[str, NodeWireStats] = field(default_factory=dict)
 
-    def record(self, type_name: str, size_bytes: int) -> None:
+    def record(
+        self,
+        type_name: str,
+        size_bytes: int,
+        source: Optional[str] = None,
+        auth_bytes: int = 0,
+    ) -> None:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        self.auth_bytes_sent += auth_bytes
         self.per_type[type_name] = self.per_type.get(type_name, 0) + 1
+        if source is not None:
+            node = self.per_node.get(source)
+            if node is None:
+                node = self.per_node[source] = NodeWireStats()
+            node.messages_sent += 1
+            node.bytes_sent += size_bytes
+            node.auth_bytes_sent += auth_bytes
+
+    def wire_totals(self) -> Dict[str, Any]:
+        """The wire-accounting snapshot benchmarks read: uniform totals
+        plus the per-type breakdown (values, not live references)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "payload_bytes": self.bytes_sent,
+            "auth_bytes": self.auth_bytes_sent,
+            "per_type": dict(self.per_type),
+        }
+
+
+def _auth_bytes(message: Any) -> int:
+    """Authentication bytes a message carries on the wire.  Duck-typed:
+    protocol messages expose ``auth_size()``; anything else (raw payloads
+    in unit tests) counts zero."""
+    auth_size = getattr(message, "auth_size", None)
+    return auth_size() if auth_size is not None else 0
 
 
 class Network:
@@ -112,7 +160,7 @@ class Network:
         now = self.scheduler.clock.now
         depart = max(now, not_before) if not_before is not None else now
         type_name = type(message).__name__
-        self.stats.record(type_name, size_bytes)
+        self.stats.record(type_name, size_bytes, source, _auth_bytes(message))
 
         conditions = self.conditions
         if conditions.partitions and conditions.is_partitioned(source, destination):
@@ -216,7 +264,8 @@ class Network:
             depart = (
                 max(now, not_before) if not_before is not None else now
             )
-            record(type(message).__name__, size_bytes)
+            record(type(message).__name__, size_bytes, source,
+                   _auth_bytes(message))
             transit = fixed + per_byte * max(0, size_bytes)
             event = Event.make(
                 depart + transit,

@@ -36,6 +36,13 @@ class FaultType(enum.Enum):
     BAD_AUTHENTICATOR = "bad-authenticator"
     #: Replica replays old messages it has previously sent.
     REPLAY = "replay"
+    #: Interior node of a dissemination tree silently drops the relay
+    #: bundles it should forward (its own multicasts still go out).
+    SILENT_RELAY = "silent-relay"
+    #: Interior node of a dissemination tree tampers with the relayed
+    #: payloads before forwarding them (detected end-to-end: the root's
+    #: MACs no longer verify downstream).
+    TAMPER_RELAY = "tamper-relay"
 
 
 @dataclass
